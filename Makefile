@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build test vet race bench sweep examples cover clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the EXPERIMENTS.md sweeps (about a minute).
+sweep:
+	$(GO) run ./cmd/bvqbench
+
+sweep-quick:
+	$(GO) run ./cmd/bvqbench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/employees
+	$(GO) run ./examples/reachability
+	$(GO) run ./examples/modelcheck
+	$(GO) run ./examples/qbfhardness
+	$(GO) run ./examples/expression
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
+
+clean:
+	rm -f coverage.out test_output.txt bench_output.txt

@@ -1,0 +1,244 @@
+// Package bvq is a query-evaluation engine for bounded-variable relational
+// queries, reproducing Moshe Y. Vardi, "On the Complexity of
+// Bounded-Variable Queries" (PODS 1995).
+//
+// The paper studies the four query languages FO (relational calculus),
+// FP (fixpoint logic), ESO (existential second-order logic) and PFP
+// (partial-fixpoint logic), and shows that restricting queries to k
+// individual variables — so that every intermediate result is a k-ary,
+// polynomial-size relation — collapses their expression and combined
+// complexity towards their data complexity. This package exposes the
+// corresponding machinery:
+//
+//   - databases (ParseDatabase / NewDatabase) and queries
+//     (ParseQuery / ParseFormula);
+//   - evaluation engines: EngineBottomUp (the Prop. 3.1 bounded-variable
+//     algorithm for FO/FP/PFP), EngineNaive (the generic exponential-time
+//     baseline), EngineAlgebra (free-variable relational algebra, FO only),
+//     EngineMonotone (the alternation-free l·nᵏ fast path), EngineESO
+//     (Lemma 3.6 arity reduction + grounding + SAT);
+//   - Theorem 3.5 certificates: FindCertificate / VerifyCertificate /
+//     NegateQuery realize the NP ∩ co-NP bound for FPᵏ.
+//
+// Subsystems with their own APIs live under internal/: the µ-calculus
+// model checker (internal/mucalc), the hardness reductions
+// (internal/pathsys, internal/qbf, internal/prop, internal/boolexpr), the
+// Lemma 4.2 parenthesis-grammar machinery (internal/grammar), the acyclic
+// join optimizer (internal/queryopt), the Datalog engine
+// (internal/datalog), and the SAT solver (internal/sat).
+package bvq
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/eval/eso"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/queryopt"
+	"repro/internal/relation"
+)
+
+// Re-exported core types. The aliases make the internal packages' types
+// part of the public API without duplicating them.
+type (
+	// Database is an immutable relational database (D; R₁, …, R_ℓ).
+	Database = database.Database
+	// Builder assembles a Database.
+	Builder = database.Builder
+	// Query is (x̄)φ — a head tuple and a body formula.
+	Query = logic.Query
+	// Formula is a formula of FO/FP/ESO/PFP.
+	Formula = logic.Formula
+	// Var is an individual variable.
+	Var = logic.Var
+	// Relation is a set of tuples (a query answer).
+	Relation = relation.Set
+	// Tuple is a tuple of domain elements.
+	Tuple = relation.Tuple
+	// Certificate is a Theorem 3.5 witness for an FPᵏ evaluation.
+	Certificate = eval.Certificate
+	// Stats reports evaluation work.
+	Stats = eval.Stats
+	// Options configures evaluation (width bound, PFP budget, cycle mode).
+	Options = eval.Options
+)
+
+// NewDatabase returns a database builder.
+func NewDatabase() *Builder { return database.NewBuilder() }
+
+// ParseDatabase reads the textual database format:
+//
+//	domain = {0, 1, 2}
+//	E/2 = {(0, 1), (1, 2)}
+func ParseDatabase(text string) (*Database, error) { return database.Parse(text) }
+
+// ParseQuery parses "(x, y). exists z. E(x, z) & E(z, y)".
+func ParseQuery(text string) (Query, error) { return parser.ParseQuery(text) }
+
+// ParseFormula parses a formula of the concrete syntax, including fixpoints
+// "[lfp S(x). P(x) | S(x)](u)" and second-order quantifiers
+// "exists2 S/2. …".
+func ParseFormula(text string) (Formula, error) { return parser.ParseFormula(text) }
+
+// Width returns the number of distinct individual variables of q: q is an
+// Lᵏ query exactly when Width(q) ≤ k (§2.2 of the paper).
+func Width(q Query) int { return q.Width() }
+
+// Engine selects an evaluation algorithm.
+type Engine int
+
+const (
+	// EngineBottomUp is Proposition 3.1: every subformula denotes one
+	// width-ary dense relation. Supports FO, FP and PFP.
+	EngineBottomUp Engine = iota
+	// EngineNaive is the generic assignment-recursion baseline (all four
+	// languages; ESO by capped enumeration). Exponential time, trusted.
+	EngineNaive
+	// EngineAlgebra evaluates FO by classical relational algebra over each
+	// subformula's free variables (the §1 intermediate-arity story).
+	EngineAlgebra
+	// EngineMonotone is the alternation-free FP fast path (l·nᵏ).
+	EngineMonotone
+	// EngineESO evaluates prenex existential second-order queries via the
+	// Lemma 3.6 arity reduction, polynomial grounding, and CDCL SAT.
+	EngineESO
+	// EngineCertified evaluates an FP query through the Theorem 3.5
+	// prover/verifier pair: FindCertificate computes the answer and emits a
+	// witness, VerifyCertificate replays it, and the two must agree.
+	EngineCertified
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineBottomUp:
+		return "bottomup"
+	case EngineNaive:
+		return "naive"
+	case EngineAlgebra:
+		return "algebra"
+	case EngineMonotone:
+		return "monotone"
+	case EngineESO:
+		return "eso"
+	case EngineCertified:
+		return "certified"
+	}
+	return "unknown"
+}
+
+// EngineByName resolves an engine name as used by the CLI.
+func EngineByName(name string) (Engine, error) {
+	for _, e := range []Engine{EngineBottomUp, EngineNaive, EngineAlgebra, EngineMonotone, EngineESO, EngineCertified} {
+		if e.String() == name {
+			return e, nil
+		}
+	}
+	return 0, fmt.Errorf("bvq: unknown engine %q (want bottomup, naive, algebra, monotone, eso or certified)", name)
+}
+
+// Eval evaluates q against db with the selected engine. The answer is a
+// relation over domain indices 0..n−1 (use Database.Value to map back to
+// the raw domain).
+func Eval(q Query, db *Database, engine Engine) (*Relation, error) {
+	ans, _, err := EvalStats(q, db, engine, nil)
+	return ans, err
+}
+
+// EvalStats is Eval with options and work statistics (statistics may be nil
+// for engines that do not report them).
+func EvalStats(q Query, db *Database, engine Engine, opts *Options) (*Relation, *Stats, error) {
+	switch engine {
+	case EngineBottomUp:
+		return eval.BottomUpStats(q, db, opts)
+	case EngineNaive:
+		ans, err := eval.Naive(q, db)
+		return ans, nil, err
+	case EngineAlgebra:
+		return eval.AlgebraStats(q, db)
+	case EngineMonotone:
+		return eval.MonotoneStats(q, db)
+	case EngineESO:
+		ans, err := eso.Eval(q, db)
+		return ans, nil, err
+	case EngineCertified:
+		cert, res, err := eval.FindCertificate(q, db)
+		if err != nil {
+			return nil, nil, err
+		}
+		ver, err := eval.VerifyCertificate(q, db, cert)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ver.Answer.Equal(res.Answer) {
+			return nil, nil, fmt.Errorf("bvq: verifier answer differs from prover answer")
+		}
+		return ver.Answer, &ver.Stats, nil
+	default:
+		return nil, nil, fmt.Errorf("bvq: unknown engine %d", engine)
+	}
+}
+
+// Holds evaluates a sentence (a Boolean query) with the given engine.
+func Holds(f Formula, db *Database, engine Engine) (bool, error) {
+	q, err := logic.NewQuery(nil, f)
+	if err != nil {
+		return false, err
+	}
+	ans, err := Eval(q, db, engine)
+	if err != nil {
+		return false, err
+	}
+	return ans.Len() > 0, nil
+}
+
+// FindCertificate proves q's answer and emits a Theorem 3.5 certificate:
+// one increasing chain of under-approximations per greatest-fixpoint node.
+func FindCertificate(q Query, db *Database) (*Certificate, *Relation, error) {
+	cert, res, err := eval.FindCertificate(q, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cert, res.Answer, nil
+}
+
+// VerifyCertificate replays q's evaluation using the certificate's chains,
+// checking the Lemma 3.3 post-fixpoint condition at every use; it runs in
+// l·nᵏ fixpoint stages. The returned answer is always a subset of the true
+// answer, and equals it for certificates from FindCertificate.
+func VerifyCertificate(q Query, db *Database, cert *Certificate) (*Relation, error) {
+	res, err := eval.VerifyCertificate(q, db, cert)
+	if err != nil {
+		return nil, err
+	}
+	return res.Answer, nil
+}
+
+// NegateQuery returns the complement query (the co-NP half of Thm 3.5).
+func NegateQuery(q Query) (Query, error) { return eval.NegateQuery(q) }
+
+// Conjunctive-query optimization (§1/§5 of the paper).
+type (
+	// ConjunctiveQuery is answer(Head) ← Atoms.
+	ConjunctiveQuery = queryopt.CQ
+	// CQAtom is one conjunct of a conjunctive query.
+	CQAtom = queryopt.Atom
+)
+
+// MinimizeWidth rewrites an acyclic conjunctive query into bounded-variable
+// first-order form — the paper's §5 "variable minimization" methodology.
+// The returned width is the number of distinct variables of the rewritten
+// query; evaluating it with EngineBottomUp keeps every intermediate result
+// at that arity.
+func MinimizeWidth(q *ConjunctiveQuery) (Query, int, error) {
+	return queryopt.MinimizeWidth(q)
+}
+
+// Yannakakis evaluates an acyclic conjunctive query with the semijoin
+// full-reducer algorithm, never materializing an intermediate wider than a
+// join-tree bag plus carried head variables.
+func Yannakakis(q *ConjunctiveQuery, db *Database) (*Relation, error) {
+	ans, _, err := queryopt.EvalYannakakis(q, db)
+	return ans, err
+}

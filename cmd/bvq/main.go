@@ -1,0 +1,114 @@
+// Command bvq evaluates a bounded-variable query against a database.
+//
+// Usage:
+//
+//	bvq -db employees.db -query '(x, y). exists z. E(x, z) & E(z, y)' \
+//	    [-engine bottomup|naive|algebra|monotone|eso] [-k 3] [-stats]
+//
+// The database file uses the textual format of bvq.ParseDatabase:
+//
+//	domain = {0, 1, 2}
+//	E/2 = {(0, 1), (1, 2)}
+//
+// The answer is printed as a tuple list in raw domain values. With -stats,
+// evaluation statistics (intermediate arities and sizes, fixpoint
+// iterations) are printed to stderr. With -k, the query is rejected unless
+// its width is at most k — the Lᵏ membership check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/relation"
+)
+
+func main() {
+	var (
+		dbPath  = flag.String("db", "", "database file (textual format); required")
+		query   = flag.String("query", "", "query text '(x, y). formula'; required unless -query-file")
+		qFile   = flag.String("query-file", "", "file containing the query")
+		engine  = flag.String("engine", "bottomup", "engine: bottomup, naive, algebra, monotone, eso, certified")
+		k       = flag.Int("k", 0, "reject queries of width > k (0: no bound)")
+		stats   = flag.Bool("stats", false, "print evaluation statistics to stderr")
+		showIdx = flag.Bool("indices", false, "print domain indices instead of raw values")
+	)
+	flag.Parse()
+	if err := run(*dbPath, *query, *qFile, *engine, *k, *stats, *showIdx, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "bvq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbPath, query, qFile, engineName string, k int, stats, showIdx bool, stdout, stderr io.Writer) error {
+	if dbPath == "" {
+		return fmt.Errorf("missing -db")
+	}
+	text, err := os.ReadFile(dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := bvq.ParseDatabase(string(text))
+	if err != nil {
+		return err
+	}
+	if query == "" && qFile != "" {
+		qt, err := os.ReadFile(qFile)
+		if err != nil {
+			return err
+		}
+		query = strings.TrimSpace(string(qt))
+	}
+	if query == "" {
+		return fmt.Errorf("missing -query or -query-file")
+	}
+	q, err := bvq.ParseQuery(query)
+	if err != nil {
+		return err
+	}
+	eng, err := bvq.EngineByName(engineName)
+	if err != nil {
+		return err
+	}
+	var opts *bvq.Options
+	if k > 0 {
+		opts = &bvq.Options{MaxWidth: k}
+	}
+	ans, st, err := bvq.EvalStats(q, db, eng, opts)
+	if err != nil {
+		return err
+	}
+	if stats {
+		fmt.Fprintf(stderr, "engine=%s width=%d domain=%d\n", eng, bvq.Width(q), db.Size())
+		if st != nil {
+			fmt.Fprintf(stderr, "subformula evals=%d fixpoint iterations=%d max intermediate arity=%d max intermediate tuples=%d\n",
+				st.SubformulaEvals, st.FixIterations, st.MaxIntermediateArity, st.MaxIntermediateTuples)
+		}
+	}
+	if q.Arity() == 0 {
+		if ans.Len() > 0 {
+			fmt.Fprintln(stdout, "true")
+		} else {
+			fmt.Fprintln(stdout, "false")
+		}
+		return nil
+	}
+	tuples := ans.Tuples()
+	for _, t := range tuples {
+		if showIdx {
+			fmt.Fprintln(stdout, t.String())
+			continue
+		}
+		raw := make(relation.Tuple, len(t))
+		for i, v := range t {
+			raw[i] = db.Value(v)
+		}
+		fmt.Fprintln(stdout, raw.String())
+	}
+	fmt.Fprintf(stderr, "%d tuple(s)\n", ans.Len())
+	return nil
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeDB(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "graph.db")
+	text := `
+domain = {10, 20, 30, 40}
+E/2 = {(10, 20), (20, 30), (30, 40)}
+P/1 = {(10)}
+`
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasicQuery(t *testing.T) {
+	db := writeDB(t)
+	var out, errw strings.Builder
+	err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 0, true, false, &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "(10, 30)") || !strings.Contains(got, "(20, 40)") {
+		t.Fatalf("stdout = %q", got)
+	}
+	if !strings.Contains(errw.String(), "2 tuple(s)") {
+		t.Fatalf("stderr = %q", errw.String())
+	}
+	if !strings.Contains(errw.String(), "width=3") {
+		t.Fatalf("stats missing: %q", errw.String())
+	}
+}
+
+func TestRunBooleanAndIndices(t *testing.T) {
+	db := writeDB(t)
+	var out, errw strings.Builder
+	if err := run(db, "(). exists x. P(x)", "", "naive", 0, false, false, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "true" {
+		t.Fatalf("Boolean output = %q", out.String())
+	}
+	out.Reset()
+	if err := run(db, "(x). P(x)", "", "bottomup", 0, false, true, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "(0)" { // index of value 10
+		t.Fatalf("indices output = %q", out.String())
+	}
+}
+
+func TestRunQueryFile(t *testing.T) {
+	db := writeDB(t)
+	qf := filepath.Join(t.TempDir(), "q.txt")
+	if err := os.WriteFile(qf, []byte("(x). P(x)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	if err := run(db, "", qf, "bottomup", 0, false, false, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(10)") {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+func TestRunCertifiedEngine(t *testing.T) {
+	db := writeDB(t)
+	var out, errw strings.Builder
+	q := "(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)"
+	if err := run(db, q, "", "certified", 0, false, false, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "4 tuple(s)") {
+		t.Fatalf("stderr = %q", errw.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	db := writeDB(t)
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"missing db", func() error {
+			var o, e strings.Builder
+			return run("", "(x). P(x)", "", "bottomup", 0, false, false, &o, &e)
+		}},
+		{"missing query", func() error {
+			var o, e strings.Builder
+			return run(db, "", "", "bottomup", 0, false, false, &o, &e)
+		}},
+		{"bad engine", func() error {
+			var o, e strings.Builder
+			return run(db, "(x). P(x)", "", "warpdrive", 0, false, false, &o, &e)
+		}},
+		{"width bound", func() error {
+			var o, e strings.Builder
+			return run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 2, false, false, &o, &e)
+		}},
+		{"bad query", func() error {
+			var o, e strings.Builder
+			return run(db, "(x). Nope(", "", "bottomup", 0, false, false, &o, &e)
+		}},
+		{"nonexistent db file", func() error {
+			var o, e strings.Builder
+			return run("/nonexistent/x.db", "(x). P(x)", "", "bottomup", 0, false, false, &o, &e)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}

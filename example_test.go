@@ -1,0 +1,80 @@
+package bvq_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// The godoc examples double as end-to-end smoke tests of the public API.
+
+func exampleDB() *bvq.Database {
+	db, err := bvq.ParseDatabase(`
+domain = {0, 1, 2, 3}
+E/2 = {(0, 1), (1, 2), (2, 3)}
+P/1 = {(0)}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+func ExampleEval() {
+	db := exampleDB()
+	q, _ := bvq.ParseQuery("(x, y). exists z. E(x, z) & E(z, y)")
+	ans, _ := bvq.Eval(q, db, bvq.EngineBottomUp)
+	fmt.Println(ans)
+	// Output: {(0, 2), (1, 3)}
+}
+
+func ExampleEval_fixpoint() {
+	db := exampleDB()
+	q, _ := bvq.ParseQuery(
+		"(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)")
+	ans, _ := bvq.Eval(q, db, bvq.EngineBottomUp)
+	fmt.Println(ans)
+	// Output: {(0), (1), (2), (3)}
+}
+
+func ExampleFindCertificate() {
+	db := exampleDB()
+	q, _ := bvq.ParseQuery(
+		"(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)")
+	cert, proved, _ := bvq.FindCertificate(q, db)
+	verified, _ := bvq.VerifyCertificate(q, db, cert)
+	fmt.Println(proved.Equal(verified))
+	// Output: true
+}
+
+func ExampleEval_eso() {
+	db := exampleDB()
+	// Is the graph 2-colorable? (A line always is.)
+	q, _ := bvq.ParseQuery("(). exists2 C/1. forall x. forall y. E(x,y) -> !(C(x) <-> C(y))")
+	ans, _ := bvq.Eval(q, db, bvq.EngineESO)
+	fmt.Println(ans.Len() > 0)
+	// Output: true
+}
+
+func ExampleWidth() {
+	q, _ := bvq.ParseQuery("(x, y). exists z. E(x, z) & E(z, y)")
+	fmt.Println(bvq.Width(q))
+	// Output: 3
+}
+
+func ExampleMinimizeWidth() {
+	// A length-4 path query: naively 5 variables, minimized to 3.
+	q := &bvq.ConjunctiveQuery{
+		Head: []bvq.Var{"a", "e"},
+		Atoms: []bvq.CQAtom{
+			{Rel: "E", Vars: []bvq.Var{"a", "b"}},
+			{Rel: "E", Vars: []bvq.Var{"b", "c"}},
+			{Rel: "E", Vars: []bvq.Var{"c", "d"}},
+			{Rel: "E", Vars: []bvq.Var{"d", "e"}},
+		},
+	}
+	_, width, _ := bvq.MinimizeWidth(q)
+	fmt.Println(width)
+	// Output: 3
+}

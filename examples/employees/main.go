@@ -1,0 +1,76 @@
+// Employees: the paper's §1 motivating example. The query "find employees
+// who earn less than their manager's secretary" joins EMP, MGR, SCY and SAL
+// (twice). The naive plan takes a 10-ary cross product; a better plan keeps
+// every intermediate at arity ≤ 4 — and the acyclic-join machinery
+// (GYO + Yannakakis) does that automatically.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/logic"
+	"repro/internal/queryopt"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+func main() {
+	for _, ne := range []int{6, 12, 24, 48} {
+		db := workload.Corporate(1, ne)
+		// answer(e, se, ss) ← EMP(e,d), MGR(d,m), SCY(m,s), SAL(e,se), SAL2(s,ss)
+		q := &queryopt.CQ{
+			Head: []logic.Var{"e", "se", "ss"},
+			Atoms: []queryopt.Atom{
+				{Rel: "EMP", Vars: []logic.Var{"e", "d"}},
+				{Rel: "MGR", Vars: []logic.Var{"d", "m"}},
+				{Rel: "SCY", Vars: []logic.Var{"m", "s"}},
+				{Rel: "SAL", Vars: []logic.Var{"e", "se"}},
+				{Rel: "SAL2", Vars: []logic.Var{"s", "ss"}},
+			},
+		}
+		if !q.IsAcyclic() {
+			log.Fatal("employees query should be acyclic")
+		}
+
+		yan, yanStats, err := queryopt.EvalYannakakis(q, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The naive plan's 10-ary product grows as ne⁵-ish; past a couple of
+		// dozen employees it stops being runnable — which is the point.
+		naiveStats := &queryopt.Stats{}
+		naiveRan := ne <= 24
+		if naiveRan {
+			var naive *relation.Set
+			naive, naiveStats, err = queryopt.EvalNaive(q, db)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !naive.Equal(yan) {
+				log.Fatal("plans disagree")
+			}
+		}
+
+		// The final selection se < ss is arithmetic, done outside the CQ.
+		count := 0
+		sel := relation.NewSet(1)
+		yan.ForEach(func(t relation.Tuple) {
+			if db.Value(t[1]) < db.Value(t[2]) {
+				sel.Add(relation.Tuple{t[0]})
+			}
+		})
+		count = sel.Len()
+
+		naiveCol := "     (skipped: too large)"
+		if naiveRan {
+			naiveCol = fmt.Sprintf("max arity %2d, max tuples %7d",
+				naiveStats.MaxIntermediateArity, naiveStats.MaxIntermediateTuples)
+		}
+		fmt.Printf("employees=%3d  underpaid=%3d | naive: %s | yannakakis: max arity %2d, max tuples %5d\n",
+			ne, count, naiveCol,
+			yanStats.MaxIntermediateArity, yanStats.MaxIntermediateTuples)
+	}
+	fmt.Println("\nThe naive plan materializes the paper's 10-ary product; the join-tree")
+	fmt.Println("plan never exceeds arity 4 — intermediate-result minimization in action.")
+}

@@ -1,0 +1,82 @@
+// Modelcheck: the paper's §1 verification application. A finite-state
+// program (a two-process mutual-exclusion protocol) is a relational
+// database of unary and binary relations; verifying its µ-calculus
+// specifications amounts to evaluating FP² queries — and the Theorem 3.5
+// certificate machinery gives the NP∩co-NP model-checking bound.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/logic"
+	"repro/internal/mucalc"
+)
+
+func main() {
+	k := buildMutex()
+	fmt.Printf("mutual-exclusion protocol: %d states, propositions %v\n\n", k.States(), k.Props())
+
+	specs := []struct {
+		name string
+		f    mucalc.Formula
+	}{
+		{"safety: AG ¬(c0 ∧ c1)", mucalc.AG(mucalc.Disj{L: mucalc.NegProp{Name: "c0"}, R: mucalc.NegProp{Name: "c1"}})},
+		{"possibility: EF c0", mucalc.EF(mucalc.Prop{Name: "c0"})},
+		{"liveness(∃): inf. often c0", mucalc.InfinitelyOften(mucalc.Prop{Name: "c0"})},
+		{"invariantly possible: AG EF c0", mucalc.AG(mucalc.EF(mucalc.Prop{Name: "c0"}))},
+	}
+
+	for _, s := range specs {
+		direct, err := mucalc.Check(k, s.f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		viaFP2, err := mucalc.CheckViaFP2(k, s.f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		states, cert, err := mucalc.CheckCertified(k, s.f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agree := direct.Equal(viaFP2) && direct.Equal(states)
+		q, _ := mucalc.FP2Query(s.f)
+		fmt.Printf("%-30s holds at s0: %-5v  (FP² width %d, alternation depth %d, gfp chains %d, engines agree: %v)\n",
+			s.name, direct.Test(0), q.Width(), logic.AlternationDepth(q.Body), len(cert.Chains), agree)
+	}
+
+	fmt.Println("\nEvery specification was checked three ways: direct µ-calculus semantics,")
+	fmt.Println("translation to two-variable fixpoint logic (FP²), and the certified")
+	fmt.Println("prover/verifier pair of Theorem 3.5.")
+}
+
+// buildMutex constructs the 9-state interleaving of two processes cycling
+// idle → try → crit, with the critical section mutually excluded.
+func buildMutex() *mucalc.Kripke {
+	const (
+		idle = 0
+		try  = 1
+		crit = 2
+	)
+	id := func(p, q int) int { return p*3 + q }
+	step := func(s int) int { return (s + 1) % 3 }
+	k := mucalc.NewKripke(9)
+	for p := 0; p < 3; p++ {
+		for q := 0; q < 3; q++ {
+			if p2 := step(p); !(p2 == crit && q == crit) {
+				k.AddEdge(id(p, q), id(p2, q))
+			}
+			if q2 := step(q); !(q2 == crit && p == crit) {
+				k.AddEdge(id(p, q), id(p, q2))
+			}
+			if p == crit {
+				k.Label(id(p, q), "c0")
+			}
+			if q == crit {
+				k.Label(id(p, q), "c1")
+			}
+		}
+	}
+	return k
+}

@@ -1,0 +1,75 @@
+// Qbfhardness: Theorem 4.6 live. QBF validity — the canonical
+// PSPACE-complete problem — reduces to evaluating partial-fixpoint queries
+// with TWO individual variables over the FIXED two-element database
+// B₀ = ({0,1}; P = {0}). The database never changes; only the query grows,
+// which is what makes this an *expression*-complexity lower bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/prop"
+	"repro/internal/qbf"
+)
+
+func main() {
+	db := qbf.FixedDatabase()
+	fmt.Println("fixed database B₀:")
+	fmt.Print(db)
+	fmt.Println()
+
+	// A concrete instance first: ∀p1 ∃p2 (p1 ↔ p2) — valid.
+	iff := prop.Or{
+		L: prop.And{L: prop.Var(1), R: prop.Var(2)},
+		R: prop.And{L: prop.Not{F: prop.Var(1)}, R: prop.Not{F: prop.Var(2)}},
+	}
+	in := &qbf.Instance{
+		Prefix: []qbf.Quantifier{{Forall: true, Var: 1}, {Var: 2}},
+		Matrix: iff,
+	}
+	q, err := qbf.ToPFP(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ans, err := eval.BottomUp(q, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want, _ := in.Solve()
+	fmt.Printf("%s\n  → PFP² query of size %d, width %d; evaluates to %v (solver says %v)\n\n",
+		in, logic.Size(q.Body), q.Width(), ans.Len() > 0, want)
+
+	// Now the sweep: query size grows linearly with the number of
+	// quantifiers, evaluation time over the fixed B₀ exponentially.
+	fmt.Printf("%3s %8s %8s %12s %12s %7s\n", "l", "|query|", "width", "pfp eval", "direct", "agree")
+	for _, l := range []int{1, 2, 3, 4, 5, 6} {
+		r := rand.New(rand.NewSource(int64(l) * 7))
+		in := qbf.Random(r, l, 3)
+		q, err := qbf.ToPFP(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		ans, err := eval.BottomUp(q, db)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tEval := time.Since(start).Round(time.Microsecond)
+		start = time.Now()
+		want, err := in.Solve()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tDirect := time.Since(start).Round(time.Microsecond)
+		fmt.Printf("%3d %8d %8d %12s %12s %7v\n",
+			l, logic.Size(q.Body), q.Width(), tEval, tDirect, (ans.Len() > 0) == want)
+	}
+	fmt.Println("\nEvery row: the same two-element database, a linearly larger query,")
+	fmt.Println("exponentially more evaluation work — PSPACE-hardness of PFP² expression")
+	fmt.Println("complexity, exactly as Table 3 classifies it.")
+}

@@ -1,0 +1,163 @@
+// Package boolexpr implements the Boolean formula value problem (BFVP) and
+// its reduction to the expression complexity of FOᵏ over a fixed database
+// (Theorem 4.4 of Vardi, PODS 1995). BFVP — evaluate a variable-free
+// formula of ∧, ∨, ¬ and constants — is ALOGTIME-complete (Buss 1987), and
+// it embeds into Answer_{FOᵏ}(B) for a fixed two-element database by
+// mapping the constants to a true and a false FO¹ sentence and the
+// connectives to themselves.
+package boolexpr
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/prop"
+)
+
+// Eval evaluates a variable-free propositional formula. It is the direct
+// BFVP algorithm (linear time).
+func Eval(f prop.Formula) (bool, error) {
+	if prop.MaxVar(f) != 0 {
+		return false, fmt.Errorf("boolexpr: formula has variables")
+	}
+	return prop.Eval(f, nil), nil
+}
+
+// FixedDatabase is the Theorem 4.4 target structure: B = ({0,1}; P = {0}).
+// Over it, ∃x P(x) is true and ∀x P(x) is false.
+func FixedDatabase() *database.Database {
+	return database.NewBuilder().
+		Domain(0, 1).
+		Relation("P", 1).
+		Add("P", 0).
+		MustBuild()
+}
+
+// ToFOOver maps a BFVP instance to an FO sentence over an arbitrary
+// *nontrivial* database (footnote 4 of the paper: a domain with ≥ 2
+// elements and a nonempty k-ary relation different from Dᵏ). Such a
+// database always provides a true sentence, ∃x̄ R(x̄), and a false one,
+// ∀x̄ R(x̄); constants map to those and connectives to themselves, so the
+// ALOGTIME-hardness of Theorem 4.4 holds over every nontrivial B.
+func ToFOOver(db *database.Database, f prop.Formula) (logic.Formula, error) {
+	if !db.Nontrivial() {
+		return nil, fmt.Errorf("boolexpr: database is trivial (footnote 4 requires a nontrivial one)")
+	}
+	name, arity, err := witnessRelation(db)
+	if err != nil {
+		return nil, err
+	}
+	vars := make([]logic.Var, arity)
+	for i := range vars {
+		vars[i] = logic.Var(fmt.Sprintf("x%d", i+1))
+	}
+	trueS := logic.Exists(logic.R(name, vars...), vars...)
+	falseS := logic.Forall(logic.R(name, vars...), vars...)
+	var rec func(f prop.Formula) (logic.Formula, error)
+	rec = func(f prop.Formula) (logic.Formula, error) {
+		switch g := f.(type) {
+		case prop.Const:
+			if bool(g) {
+				return trueS, nil
+			}
+			return falseS, nil
+		case prop.Not:
+			sub, err := rec(g.F)
+			if err != nil {
+				return nil, err
+			}
+			return logic.Neg(sub), nil
+		case prop.And:
+			l, err := rec(g.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rec(g.R)
+			if err != nil {
+				return nil, err
+			}
+			return logic.And(l, r), nil
+		case prop.Or:
+			l, err := rec(g.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rec(g.R)
+			if err != nil {
+				return nil, err
+			}
+			return logic.Or(l, r), nil
+		default:
+			return nil, fmt.Errorf("boolexpr: formula has variables")
+		}
+	}
+	return rec(f)
+}
+
+// witnessRelation finds a relation with 0 < |R| < n^arity.
+func witnessRelation(db *database.Database) (string, int, error) {
+	n := db.Size()
+	for _, name := range db.Names() {
+		arity, err := db.Arity(name)
+		if err != nil || arity < 1 {
+			continue
+		}
+		rel, err := db.Rel(name)
+		if err != nil || rel.Len() == 0 {
+			continue
+		}
+		full := 1
+		for i := 0; i < arity; i++ {
+			full *= n
+		}
+		if rel.Len() < full {
+			return name, arity, nil
+		}
+	}
+	return "", 0, fmt.Errorf("boolexpr: no witness relation (database is trivial)")
+}
+
+// ToFO maps a BFVP instance to an FO¹ sentence over FixedDatabase whose
+// truth value equals the formula's value. The mapping is linear-size and
+// uses one individual variable, so it lower-bounds the expression
+// complexity of FOᵏ for every k ≥ 1.
+func ToFO(f prop.Formula) (logic.Formula, error) {
+	switch g := f.(type) {
+	case prop.Const:
+		if bool(g) {
+			return logic.Exists(logic.R("P", "x"), "x"), nil
+		}
+		return logic.Forall(logic.R("P", "x"), "x"), nil
+	case prop.Not:
+		sub, err := ToFO(g.F)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Neg(sub), nil
+	case prop.And:
+		l, err := ToFO(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ToFO(g.R)
+		if err != nil {
+			return nil, err
+		}
+		return logic.And(l, r), nil
+	case prop.Or:
+		l, err := ToFO(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ToFO(g.R)
+		if err != nil {
+			return nil, err
+		}
+		return logic.Or(l, r), nil
+	case prop.Var:
+		return nil, fmt.Errorf("boolexpr: formula has variables")
+	default:
+		return nil, fmt.Errorf("boolexpr: unknown formula %T", f)
+	}
+}

@@ -1,0 +1,121 @@
+package boolexpr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/prop"
+)
+
+func TestEvalRejectsVariables(t *testing.T) {
+	if _, err := Eval(prop.Var(1)); err == nil {
+		t.Fatal("formula with variables accepted")
+	}
+	if _, err := ToFO(prop.Var(1)); err == nil {
+		t.Fatal("ToFO accepted variables")
+	}
+}
+
+func TestReductionPreservesValue(t *testing.T) {
+	db := FixedDatabase()
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		f := prop.RandomValue(r, 6)
+		want, err := Eval(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fo, err := ToFO(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w := logic.Width(fo); w != 1 {
+			t.Fatalf("reduction width %d, want 1", w)
+		}
+		q, err := logic.NewQuery(nil, fo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := eval.BottomUp(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (ans.Len() > 0) != want {
+			t.Fatalf("reduction of %s evaluates to %v, want %v", f, ans.Len() > 0, want)
+		}
+	}
+}
+
+// TestToFOOverAnyNontrivialDatabase exercises footnote 4: the hardness
+// reduction works over *every* nontrivial database, not just the canonical
+// two-element one.
+func TestToFOOverAnyNontrivialDatabase(t *testing.T) {
+	dbs := []*database.Database{
+		FixedDatabase(),
+		// The paper's §2.1 example: ({3,5,7}; E = {⟨3,5⟩,⟨5,7⟩}).
+		database.NewBuilder().Relation("E", 2).Add("E", 3, 5).Add("E", 5, 7).MustBuild(),
+		// A unary-only structure.
+		database.NewBuilder().Domain(0, 1, 2).Relation("Q", 1).Add("Q", 1).MustBuild(),
+		// A ternary relation.
+		database.NewBuilder().Domain(0, 1).Relation("T", 3).Add("T", 0, 1, 0).MustBuild(),
+	}
+	r := rand.New(rand.NewSource(31))
+	for di, db := range dbs {
+		for trial := 0; trial < 25; trial++ {
+			f := prop.RandomValue(r, 5)
+			want, err := Eval(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fo, err := ToFOOver(db, f)
+			if err != nil {
+				t.Fatalf("db %d: %v", di, err)
+			}
+			q, err := logic.NewQuery(nil, fo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ans, err := eval.BottomUp(q, db)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (ans.Len() > 0) != want {
+				t.Fatalf("db %d: reduction of %s = %v, want %v", di, f, ans.Len() > 0, want)
+			}
+		}
+	}
+}
+
+func TestToFOOverRejectsTrivial(t *testing.T) {
+	trivial := database.NewBuilder().Domain(0).Relation("P", 1).Add("P", 0).MustBuild()
+	if _, err := ToFOOver(trivial, prop.Const(true)); err == nil {
+		t.Fatal("trivial database accepted")
+	}
+	full := database.NewBuilder().Domain(0, 1).Relation("P", 1).Add("P", 0).Add("P", 1).MustBuild()
+	if _, err := ToFOOver(full, prop.Const(true)); err == nil {
+		t.Fatal("database with only D^k relation accepted")
+	}
+}
+
+func TestReductionSizeLinear(t *testing.T) {
+	deep := func(d int) prop.Formula {
+		var f prop.Formula = prop.Const(true)
+		for i := 0; i < d; i++ {
+			f = prop.And{L: f, R: prop.Const(false)}
+		}
+		return f
+	}
+	size := func(d int) int {
+		fo, err := ToFO(deep(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return logic.Size(fo)
+	}
+	if size(20)-size(10) != size(30)-size(20) {
+		t.Fatalf("reduction size not linear: %d %d %d", size(10), size(20), size(30))
+	}
+}

@@ -1,0 +1,265 @@
+// Package database implements the paper's notion of a relational database:
+// B = (D; R₁, …, R_ℓ) where the domain D ⊆ ℕ is a finite set of natural
+// numbers and each Rᵢ ⊆ D^{aᵢ} (§2.1 of Vardi, PODS 1995).
+//
+// Internally all relations are normalized over domain indices 0..n−1 (with
+// the domain kept sorted), which is what the evaluators consume; the original
+// natural-number values remain available for presentation. The package also
+// provides the paper's "standard encoding" of a database as a string of
+// binary numerals, which makes the input length — the yardstick of data and
+// combined complexity — a concrete, measurable quantity.
+package database
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/relation"
+)
+
+// Database is an immutable relational database over a finite domain.
+type Database struct {
+	domain []int          // sorted distinct natural numbers
+	idx    map[int]int    // value → index in domain
+	names  []string       // relation names in declaration order
+	arity  map[string]int // relation name → arity
+	rels   map[string]*relation.Set
+}
+
+// Builder assembles a Database. Tuples are given in raw domain values; the
+// domain is the union of everything mentioned plus explicit additions.
+type Builder struct {
+	domain map[int]bool
+	names  []string
+	arity  map[string]int
+	tuples map[string][]relation.Tuple
+	err    error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		domain: make(map[int]bool),
+		arity:  make(map[string]int),
+		tuples: make(map[string][]relation.Tuple),
+	}
+}
+
+// Domain adds elements to the domain (beyond those appearing in tuples).
+func (b *Builder) Domain(values ...int) *Builder {
+	for _, v := range values {
+		if v < 0 {
+			b.fail(fmt.Errorf("database: domain element %d is not a natural number", v))
+			return b
+		}
+		b.domain[v] = true
+	}
+	return b
+}
+
+// Relation declares a relation with the given name and arity. Declaring the
+// same name twice with different arities is an error.
+func (b *Builder) Relation(name string, arity int) *Builder {
+	if name == "" {
+		b.fail(fmt.Errorf("database: empty relation name"))
+		return b
+	}
+	if arity < 0 {
+		b.fail(fmt.Errorf("database: relation %s has negative arity %d", name, arity))
+		return b
+	}
+	if a, ok := b.arity[name]; ok {
+		if a != arity {
+			b.fail(fmt.Errorf("database: relation %s redeclared with arity %d (was %d)", name, arity, a))
+		}
+		return b
+	}
+	b.arity[name] = arity
+	b.names = append(b.names, name)
+	return b
+}
+
+// Add inserts a tuple into a declared relation.
+func (b *Builder) Add(name string, values ...int) *Builder {
+	a, ok := b.arity[name]
+	if !ok {
+		b.fail(fmt.Errorf("database: adding tuple to undeclared relation %s", name))
+		return b
+	}
+	if len(values) != a {
+		b.fail(fmt.Errorf("database: relation %s has arity %d, got tuple of length %d", name, a, len(values)))
+		return b
+	}
+	for _, v := range values {
+		if v < 0 {
+			b.fail(fmt.Errorf("database: tuple component %d is not a natural number", v))
+			return b
+		}
+		b.domain[v] = true
+	}
+	t := make(relation.Tuple, len(values))
+	copy(t, values)
+	b.tuples[name] = append(b.tuples[name], t)
+	return b
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// Build finalizes the database.
+func (b *Builder) Build() (*Database, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	dom := make([]int, 0, len(b.domain))
+	for v := range b.domain {
+		dom = append(dom, v)
+	}
+	sort.Ints(dom)
+	db := &Database{
+		domain: dom,
+		idx:    make(map[int]int, len(dom)),
+		names:  append([]string(nil), b.names...),
+		arity:  make(map[string]int, len(b.arity)),
+		rels:   make(map[string]*relation.Set, len(b.arity)),
+	}
+	for i, v := range dom {
+		db.idx[v] = i
+	}
+	for name, a := range b.arity {
+		db.arity[name] = a
+		set := relation.NewSet(a)
+		for _, t := range b.tuples[name] {
+			nt := make(relation.Tuple, len(t))
+			for i, v := range t {
+				nt[i] = db.idx[v]
+			}
+			set.Add(nt)
+		}
+		db.rels[name] = set
+	}
+	return db, nil
+}
+
+// MustBuild is Build that panics on error, for statically valid literals.
+func (b *Builder) MustBuild() *Database {
+	db, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Size returns n, the number of domain elements.
+func (db *Database) Size() int { return len(db.domain) }
+
+// DomainValues returns the sorted domain as natural numbers.
+func (db *Database) DomainValues() []int { return append([]int(nil), db.domain...) }
+
+// Value maps a domain index to its natural-number value.
+func (db *Database) Value(i int) int { return db.domain[i] }
+
+// Index maps a natural-number value to its domain index; ok is false if the
+// value is not in the domain.
+func (db *Database) Index(v int) (int, bool) {
+	i, ok := db.idx[v]
+	return i, ok
+}
+
+// Names returns the relation names in declaration order.
+func (db *Database) Names() []string { return append([]string(nil), db.names...) }
+
+// HasRelation reports whether the database declares the named relation.
+func (db *Database) HasRelation(name string) bool {
+	_, ok := db.arity[name]
+	return ok
+}
+
+// Arity returns the arity of the named relation, or an error if undeclared.
+func (db *Database) Arity(name string) (int, error) {
+	a, ok := db.arity[name]
+	if !ok {
+		return 0, fmt.Errorf("database: no relation %s", name)
+	}
+	return a, nil
+}
+
+// Rel returns the named relation over domain indices 0..n−1. The returned
+// set must not be mutated.
+func (db *Database) Rel(name string) (*relation.Set, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("database: no relation %s", name)
+	}
+	return r, nil
+}
+
+// RelValues returns the named relation with tuples in raw domain values.
+func (db *Database) RelValues(name string) (*relation.Set, error) {
+	r, err := db.Rel(name)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.NewSet(r.Arity())
+	r.ForEach(func(t relation.Tuple) {
+		vt := make(relation.Tuple, len(t))
+		for i, x := range t {
+			vt[i] = db.domain[x]
+		}
+		out.Add(vt)
+	})
+	return out, nil
+}
+
+// Nontrivial reports whether the database has at least two domain elements
+// and a nonempty relation of positive arity that differs from Dᵏ — the
+// hypothesis under which the paper's expression-complexity lower bounds hold
+// (footnote 4).
+func (db *Database) Nontrivial() bool {
+	if len(db.domain) < 2 {
+		return false
+	}
+	for name, r := range db.rels {
+		k := db.arity[name]
+		if k < 1 || r.Len() == 0 {
+			continue
+		}
+		full := 1
+		for i := 0; i < k; i++ {
+			full *= len(db.domain)
+		}
+		if r.Len() != full {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the database in the readable text format accepted by Parse.
+func (db *Database) String() string {
+	var sb strings.Builder
+	sb.WriteString("domain = {")
+	for i, v := range db.domain {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%d", v)
+	}
+	sb.WriteString("}\n")
+	for _, name := range db.names {
+		rel, _ := db.RelValues(name)
+		fmt.Fprintf(&sb, "%s/%d = {", name, db.arity[name])
+		for i, t := range rel.Tuples() {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(t.String())
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,82 @@
+package database
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestDecodeEncodedRoundTrip(t *testing.T) {
+	db, err := NewBuilder().
+		Relation("E", 2).Add("E", 3, 5).Add("E", 5, 7).
+		Relation("P", 1).Add("P", 3).
+		Domain(0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := db.Encode()
+	back, err := DecodeEncoded(enc, RelDecl{Name: "E", Arity: 2}, RelDecl{Name: "P", Arity: 1})
+	if err != nil {
+		t.Fatalf("DecodeEncoded(%q): %v", enc, err)
+	}
+	if back.String() != db.String() {
+		t.Fatalf("round trip changed database:\n%s\nvs\n%s", db, back)
+	}
+	if back.Encode() != enc {
+		t.Fatalf("re-encoding differs: %q vs %q", back.Encode(), enc)
+	}
+}
+
+func TestDecodeEncodedGeneratedNames(t *testing.T) {
+	back, err := DecodeEncoded("({11,101,111},{<11,101>,<101,111>})")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := back.RelValues("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Equal(relation.SetOf(2, relation.Tuple{3, 5}, relation.Tuple{5, 7})) {
+		t.Fatalf("R1 = %v", r1)
+	}
+	if back.Size() != 3 {
+		t.Fatalf("domain size = %d", back.Size())
+	}
+}
+
+func TestDecodeEncodedEmptyRelation(t *testing.T) {
+	back, err := DecodeEncoded("({0,1},{})", RelDecl{Name: "T", Arity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := back.Rel("T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || tr.Arity() != 1 {
+		t.Fatalf("T = %v arity %d", tr, tr.Arity())
+	}
+}
+
+func TestDecodeEncodedErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"{11}",
+		"({11}",
+		"({11},{<11>)",
+		"({2},{})",          // '2' is not binary
+		"({11},{<x>})",      // bad numeral
+		"({11},{<11> <1>})", // missing comma
+		"({11},junk)",
+	}
+	for _, s := range bad {
+		if _, err := DecodeEncoded(s); err == nil {
+			t.Errorf("DecodeEncoded(%q) succeeded", s)
+		}
+	}
+	// Declaration count mismatch.
+	if _, err := DecodeEncoded("({1},{})", RelDecl{"A", 1}, RelDecl{"B", 1}); err == nil {
+		t.Error("declaration count mismatch accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package database
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+)
+
+// Order relation names added by WithOrder.
+const (
+	OrderLess  = "Less"
+	OrderSucc  = "Succ"
+	OrderFirst = "First"
+	OrderLast  = "Last"
+)
+
+// WithOrder returns a copy of the database extended with a linear order on
+// the domain (in increasing raw-value order): Less/2 (strict), Succ/2
+// (successor), First/1 and Last/1.
+//
+// Ordered databases matter to the paper's context: over them, FP expresses
+// exactly the PTIME queries and PFP exactly the PSPACE queries
+// (Immerman 1986, Vardi 1982, Abiteboul–Vianu 1989) — order is what lets
+// fixpoint queries count, as the parity example in the tests shows.
+func (db *Database) WithOrder() (*Database, error) {
+	for _, name := range []string{OrderLess, OrderSucc, OrderFirst, OrderLast} {
+		if db.HasRelation(name) {
+			return nil, fmt.Errorf("database: relation %s already exists", name)
+		}
+	}
+	b := NewBuilder()
+	for _, v := range db.domain {
+		b.Domain(v)
+	}
+	for _, name := range db.names {
+		a := db.arity[name]
+		b.Relation(name, a)
+		rel, err := db.RelValues(name)
+		if err != nil {
+			return nil, err
+		}
+		rel.ForEach(func(t relation.Tuple) { b.Add(name, t...) })
+	}
+	b.Relation(OrderLess, 2).Relation(OrderSucc, 2).Relation(OrderFirst, 1).Relation(OrderLast, 1)
+	n := len(db.domain)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.Add(OrderLess, db.domain[i], db.domain[j])
+		}
+		if i+1 < n {
+			b.Add(OrderSucc, db.domain[i], db.domain[i+1])
+		}
+	}
+	if n > 0 {
+		b.Add(OrderFirst, db.domain[0])
+		b.Add(OrderLast, db.domain[n-1])
+	}
+	return b.Build()
+}

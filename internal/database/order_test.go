@@ -1,0 +1,80 @@
+package database
+
+import (
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func TestWithOrderRelations(t *testing.T) {
+	db, err := NewBuilder().
+		Relation("E", 2).Add("E", 3, 7).Add("E", 7, 9).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	odb, err := db.WithOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original relations survive.
+	e, err := odb.RelValues("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Contains(relation.Tuple{3, 7}) {
+		t.Fatalf("E lost: %v", e)
+	}
+	less, err := odb.RelValues(OrderLess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if less.Len() != 3 { // pairs over {3,7,9}
+		t.Fatalf("Less = %v", less)
+	}
+	if !less.Contains(relation.Tuple{3, 9}) || less.Contains(relation.Tuple{9, 3}) {
+		t.Fatalf("Less wrong: %v", less)
+	}
+	succ, err := odb.RelValues(OrderSucc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !succ.Equal(relation.SetOf(2, relation.Tuple{3, 7}, relation.Tuple{7, 9})) {
+		t.Fatalf("Succ = %v", succ)
+	}
+	first, _ := odb.RelValues(OrderFirst)
+	last, _ := odb.RelValues(OrderLast)
+	if !first.Contains(relation.Tuple{3}) || !last.Contains(relation.Tuple{9}) {
+		t.Fatalf("First/Last wrong: %v %v", first, last)
+	}
+}
+
+func TestWithOrderNameClash(t *testing.T) {
+	db, err := NewBuilder().Relation("Less", 2).Add("Less", 0, 1).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.WithOrder(); err == nil {
+		t.Fatal("name clash accepted")
+	}
+}
+
+func TestWithOrderSingleton(t *testing.T) {
+	db, err := NewBuilder().Domain(5).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	odb, err := db.WithOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := odb.RelValues(OrderFirst)
+	last, _ := odb.RelValues(OrderLast)
+	if first.Len() != 1 || last.Len() != 1 {
+		t.Fatal("First/Last missing on singleton")
+	}
+	less, _ := odb.Rel(OrderLess)
+	if less.Len() != 0 {
+		t.Fatal("Less nonempty on singleton")
+	}
+}

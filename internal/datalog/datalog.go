@@ -1,0 +1,329 @@
+// Package datalog is a positive-Datalog engine with semi-naive evaluation.
+// It serves as an independent baseline for the fixpoint queries in this
+// repository: Proposition 3.2's Path Systems program
+//
+//	P(x) ← S(x)
+//	P(x) ← Q(x,y,z), P(y), P(z)
+//
+// is a two-rule Datalog program, and graph reachability is the one-rule
+// program behind the §2.2 path queries.
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/relation"
+)
+
+// Term is a variable or a constant.
+type Term struct {
+	Var   string
+	Const int
+	IsVar bool
+}
+
+// V builds a variable term, C a constant term.
+func V(name string) Term { return Term{Var: name, IsVar: true} }
+
+// C builds a constant term (a domain index).
+func C(v int) Term { return Term{Const: v} }
+
+// Atom is Pred(t₁, …, t_m).
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// A builds an atom.
+func A(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Rule is Head ← Body₁, …, Body_m, ¬NegBody₁, …, ¬NegBody_j. Negated
+// literals are safe (their variables must occur in the positive body) and
+// the program must be stratified: no recursion through negation.
+type Rule struct {
+	Head    Atom
+	Body    []Atom
+	NegBody []Atom
+}
+
+// Program is a set of rules.
+type Program struct {
+	Rules []Rule
+}
+
+// Validate checks range restriction (every head variable occurs in the
+// positive body), safety of negation (every variable of a negated literal
+// occurs in the positive body), and consistent predicate arities.
+func (p *Program) Validate() error {
+	arity := make(map[string]int)
+	check := func(a Atom) error {
+		if prev, ok := arity[a.Pred]; ok && prev != len(a.Args) {
+			return fmt.Errorf("datalog: %s used with arities %d and %d", a.Pred, prev, len(a.Args))
+		}
+		arity[a.Pred] = len(a.Args)
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := check(r.Head); err != nil {
+			return err
+		}
+		bodyVars := make(map[string]bool)
+		for _, b := range r.Body {
+			if err := check(b); err != nil {
+				return err
+			}
+			for _, t := range b.Args {
+				if t.IsVar {
+					bodyVars[t.Var] = true
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if t.IsVar && !bodyVars[t.Var] {
+				return fmt.Errorf("datalog: head variable %s not range-restricted in rule for %s", t.Var, r.Head.Pred)
+			}
+		}
+		for _, nb := range r.NegBody {
+			if err := check(nb); err != nil {
+				return err
+			}
+			for _, t := range nb.Args {
+				if t.IsVar && !bodyVars[t.Var] {
+					return fmt.Errorf("datalog: variable %s of negated literal %s not bound positively", t.Var, nb.Pred)
+				}
+			}
+		}
+	}
+	if _, err := p.strata(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// strata assigns each head predicate a stratum: a rule's head must sit at
+// least as high as its positive IDB dependencies and strictly higher than
+// its negated IDB dependencies. Programs with recursion through negation
+// are rejected.
+func (p *Program) strata() (map[string]int, error) {
+	heads := make(map[string]bool)
+	for _, r := range p.Rules {
+		heads[r.Head.Pred] = true
+	}
+	s := make(map[string]int, len(heads))
+	for h := range heads {
+		s[h] = 0
+	}
+	// Bellman-Ford style relaxation; more than |heads| rounds of change
+	// means a negative cycle (recursion through negation).
+	for round := 0; ; round++ {
+		changed := false
+		for _, r := range p.Rules {
+			h := r.Head.Pred
+			for _, b := range r.Body {
+				if heads[b.Pred] && s[b.Pred] > s[h] {
+					s[h] = s[b.Pred]
+					changed = true
+				}
+			}
+			for _, nb := range r.NegBody {
+				if heads[nb.Pred] && s[nb.Pred]+1 > s[h] {
+					s[h] = s[nb.Pred] + 1
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return s, nil
+		}
+		if round > len(heads)+1 {
+			return nil, fmt.Errorf("datalog: program is not stratified (recursion through negation)")
+		}
+	}
+}
+
+// Eval computes the (stratified, perfect) model of the program over the
+// database's EDB relations. Rules are grouped by the stratum of their head;
+// each stratum runs semi-naive iteration (each round only joins against the
+// tuples newly derived in the previous round), with negated literals
+// reading the finalized relations of strictly lower strata. It returns the
+// IDB relations (head predicates), over domain indices.
+func (p *Program) Eval(db *database.Database) (map[string]*relation.Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := p.strata()
+	if err != nil {
+		return nil, err
+	}
+	idb := make(map[string]*relation.Set)
+	for _, r := range p.Rules {
+		if db.HasRelation(r.Head.Pred) {
+			return nil, fmt.Errorf("datalog: head predicate %s is an EDB relation", r.Head.Pred)
+		}
+		if _, ok := idb[r.Head.Pred]; !ok {
+			idb[r.Head.Pred] = relation.NewSet(len(r.Head.Args))
+		}
+	}
+	lookup := func(pred string) (*relation.Set, error) {
+		if s, ok := idb[pred]; ok {
+			return s, nil
+		}
+		return db.Rel(pred)
+	}
+	maxStratum := 0
+	for _, s := range strata {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+	for s := 0; s <= maxStratum; s++ {
+		var rules []Rule
+		for _, r := range p.Rules {
+			if strata[r.Head.Pred] == s {
+				rules = append(rules, r)
+			}
+		}
+		if err := p.evalStratum(rules, lookup, idb); err != nil {
+			return nil, err
+		}
+	}
+	return idb, nil
+}
+
+// evalStratum runs semi-naive iteration over one stratum's rules.
+func (p *Program) evalStratum(rules []Rule, lookup func(string) (*relation.Set, error), idb map[string]*relation.Set) error {
+	delta := make(map[string]*relation.Set)
+	for pred := range idb {
+		delta[pred] = relation.NewSet(idb[pred].Arity())
+	}
+	// First round: evaluate every rule against full relations. join adds a
+	// head tuple to delta only when it is new, so deltas are exact.
+	for _, r := range rules {
+		if err := p.join(r, lookup, -1, nil, idb, delta); err != nil {
+			return err
+		}
+	}
+	// Semi-naive rounds: re-fire each rule once per IDB body literal, with
+	// that literal restricted to the previous round's delta.
+	for {
+		anyNew := false
+		for _, d := range delta {
+			if d.Len() > 0 {
+				anyNew = true
+			}
+		}
+		if !anyNew {
+			return nil
+		}
+		nextDelta := make(map[string]*relation.Set)
+		for pred := range idb {
+			nextDelta[pred] = relation.NewSet(idb[pred].Arity())
+		}
+		for _, r := range rules {
+			for bi, b := range r.Body {
+				if _, ok := idb[b.Pred]; !ok {
+					continue
+				}
+				if delta[b.Pred].Len() == 0 {
+					continue
+				}
+				if err := p.join(r, lookup, bi, delta[b.Pred], idb, nextDelta); err != nil {
+					return err
+				}
+			}
+		}
+		delta = nextDelta
+	}
+}
+
+// join enumerates satisfying bindings of the rule body left to right.
+func (p *Program) join(r Rule, lookup func(string) (*relation.Set, error), deltaIdx int, deltaSet *relation.Set, idb, delta map[string]*relation.Set) error {
+	env := make(map[string]int)
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(r.Body) {
+			// Negated literals: ground and test against the (lower-stratum
+			// or EDB) relations, which are final at this point.
+			for _, nb := range r.NegBody {
+				rel, err := lookup(nb.Pred)
+				if err != nil {
+					return err
+				}
+				ground := make(relation.Tuple, len(nb.Args))
+				for j, t := range nb.Args {
+					if t.IsVar {
+						ground[j] = env[t.Var]
+					} else {
+						ground[j] = t.Const
+					}
+				}
+				if rel.Contains(ground) {
+					return nil
+				}
+			}
+			head := make(relation.Tuple, len(r.Head.Args))
+			for j, t := range r.Head.Args {
+				if t.IsVar {
+					head[j] = env[t.Var]
+				} else {
+					head[j] = t.Const
+				}
+			}
+			if !idb[r.Head.Pred].Contains(head) {
+				idb[r.Head.Pred].Add(head)
+				delta[r.Head.Pred].Add(head)
+			}
+			return nil
+		}
+		b := r.Body[i]
+		var rel *relation.Set
+		if i == deltaIdx {
+			rel = deltaSet
+		} else {
+			var err error
+			rel, err = lookup(b.Pred)
+			if err != nil {
+				return err
+			}
+		}
+		if rel.Arity() != len(b.Args) {
+			return fmt.Errorf("datalog: %s arity mismatch", b.Pred)
+		}
+		var ferr error
+		rel.ForEach(func(t relation.Tuple) {
+			if ferr != nil {
+				return
+			}
+			// Match the literal against t under the current bindings.
+			bound := make([]string, 0, len(b.Args))
+			ok := true
+			for j, a := range b.Args {
+				if !a.IsVar {
+					if t[j] != a.Const {
+						ok = false
+						break
+					}
+					continue
+				}
+				if v, has := env[a.Var]; has {
+					if v != t[j] {
+						ok = false
+						break
+					}
+					continue
+				}
+				env[a.Var] = t[j]
+				bound = append(bound, a.Var)
+			}
+			if ok {
+				ferr = rec(i + 1)
+			}
+			for _, v := range bound {
+				delete(env, v)
+			}
+		})
+		return ferr
+	}
+	return rec(0)
+}

@@ -1,0 +1,159 @@
+package datalog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/pathsys"
+	"repro/internal/relation"
+)
+
+func lineDB(t testing.TB, n int) *database.Database {
+	t.Helper()
+	b := database.NewBuilder().Relation("E", 2)
+	for i := 0; i < n; i++ {
+		b.Domain(i)
+	}
+	for i := 0; i+1 < n; i++ {
+		b.Add("E", i, i+1)
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func reachProgram() *Program {
+	return &Program{Rules: []Rule{
+		{Head: A("Reach", V("x"), V("y")), Body: []Atom{A("E", V("x"), V("y"))}},
+		{Head: A("Reach", V("x"), V("y")), Body: []Atom{A("E", V("x"), V("z")), A("Reach", V("z"), V("y"))}},
+	}}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	db := lineDB(t, 6)
+	idb, err := reachProgram().Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := idb["Reach"]
+	want := relation.NewSet(2)
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			want.Add(relation.Tuple{i, j})
+		}
+	}
+	if !reach.Equal(want) {
+		t.Fatalf("Reach = %v, want %v", reach, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []*Program{
+		// Head variable not in body.
+		{Rules: []Rule{{Head: A("P", V("x")), Body: []Atom{A("E", V("y"), V("y"))}}}},
+		// Arity conflict.
+		{Rules: []Rule{
+			{Head: A("P", V("x")), Body: []Atom{A("E", V("x"), V("x"))}},
+			{Head: A("P", V("x"), V("x")), Body: []Atom{A("E", V("x"), V("x"))}},
+		}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid program accepted: %+v", p)
+		}
+	}
+}
+
+func TestHeadCannotBeEDB(t *testing.T) {
+	db := lineDB(t, 3)
+	p := &Program{Rules: []Rule{{Head: A("E", V("x"), V("y")), Body: []Atom{A("E", V("x"), V("y"))}}}}
+	if _, err := p.Eval(db); err == nil {
+		t.Fatal("EDB head accepted")
+	}
+}
+
+func TestConstantsInRules(t *testing.T) {
+	db := lineDB(t, 4)
+	// P(x) ← E(0, x): successors of node 0.
+	p := &Program{Rules: []Rule{{Head: A("P", V("x")), Body: []Atom{A("E", C(0), V("x"))}}}}
+	idb, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idb["P"].Equal(relation.SetOf(1, relation.Tuple{1})) {
+		t.Fatalf("P = %v", idb["P"])
+	}
+}
+
+func TestPathSystemsProgramAgreesWithSolver(t *testing.T) {
+	// The Proposition 3.2 Datalog program against the worklist solver.
+	prog := &Program{Rules: []Rule{
+		{Head: A("Path", V("x")), Body: []Atom{A("S", V("x"))}},
+		{Head: A("Path", V("x")), Body: []Atom{
+			A("Q", V("x"), V("y"), V("z")), A("Path", V("y")), A("Path", V("z"))}},
+	}}
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(6)
+		in := pathsys.Random(r, n, r.Intn(3*n))
+		db, err := in.ToDatabase()
+		if err != nil {
+			t.Fatal(err)
+		}
+		idb, err := prog.Eval(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reach := in.Reachable()
+		for v := 0; v < n; v++ {
+			if reach[v] != idb["Path"].Contains(relation.Tuple{v}) {
+				t.Fatalf("datalog and worklist disagree at %d on %+v", v, in)
+			}
+		}
+	}
+}
+
+func TestSemiNaiveTerminatesOnCycles(t *testing.T) {
+	b := database.NewBuilder().Relation("E", 2)
+	b.Add("E", 0, 1).Add("E", 1, 2).Add("E", 2, 0)
+	db := b.MustBuild()
+	idb, err := reachProgram().Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idb["Reach"].Len() != 9 {
+		t.Fatalf("Reach on 3-cycle has %d tuples, want 9", idb["Reach"].Len())
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	// Even/Odd distance from node 0 along a line.
+	db := lineDB(t, 5)
+	p := &Program{Rules: []Rule{
+		{Head: A("Even", V("x")), Body: []Atom{A("Zero", V("x"))}},
+		{Head: A("Odd", V("y")), Body: []Atom{A("Even", V("x")), A("E", V("x"), V("y"))}},
+		{Head: A("Even", V("y")), Body: []Atom{A("Odd", V("x")), A("E", V("x"), V("y"))}},
+	}}
+	b := database.NewBuilder().Relation("E", 2).Relation("Zero", 1)
+	for i := 0; i < 5; i++ {
+		b.Domain(i)
+	}
+	for i := 0; i+1 < 5; i++ {
+		b.Add("E", i, i+1)
+	}
+	b.Add("Zero", 0)
+	db = b.MustBuild()
+	idb, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idb["Even"].Equal(relation.SetOf(1, relation.Tuple{0}, relation.Tuple{2}, relation.Tuple{4})) {
+		t.Fatalf("Even = %v", idb["Even"])
+	}
+	if !idb["Odd"].Equal(relation.SetOf(1, relation.Tuple{1}, relation.Tuple{3})) {
+		t.Fatalf("Odd = %v", idb["Odd"])
+	}
+}

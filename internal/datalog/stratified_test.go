@@ -1,0 +1,127 @@
+package datalog
+
+import (
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/relation"
+)
+
+func TestStratifiedUnreachable(t *testing.T) {
+	// Unreachable(x) ← Node(x), ¬Reach(x): classic two-stratum program.
+	db := func() *database.Database {
+		b := database.NewBuilder().Relation("E", 2).Relation("Node", 1).Relation("Src", 1)
+		for i := 0; i < 6; i++ {
+			b.Domain(i)
+			b.Add("Node", i)
+		}
+		b.Add("E", 0, 1).Add("E", 1, 2).Add("E", 4, 5)
+		b.Add("Src", 0)
+		return b.MustBuild()
+	}()
+	p := &Program{Rules: []Rule{
+		{Head: A("Reach", V("x")), Body: []Atom{A("Src", V("x"))}},
+		{Head: A("Reach", V("y")), Body: []Atom{A("Reach", V("x")), A("E", V("x"), V("y"))}},
+		{Head: A("Unreach", V("x")), Body: []Atom{A("Node", V("x"))}, NegBody: []Atom{A("Reach", V("x"))}},
+	}}
+	idb, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReach := relation.SetOf(1, relation.Tuple{0}, relation.Tuple{1}, relation.Tuple{2})
+	if !idb["Reach"].Equal(wantReach) {
+		t.Fatalf("Reach = %v", idb["Reach"])
+	}
+	wantUn := relation.SetOf(1, relation.Tuple{3}, relation.Tuple{4}, relation.Tuple{5})
+	if !idb["Unreach"].Equal(wantUn) {
+		t.Fatalf("Unreach = %v", idb["Unreach"])
+	}
+}
+
+func TestStrataAssignment(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: A("A", V("x")), Body: []Atom{A("E", V("x"), V("x"))}},
+		{Head: A("B", V("x")), Body: []Atom{A("A", V("x"))}, NegBody: []Atom{A("A", V("x"))}},
+		{Head: A("C", V("x")), Body: []Atom{A("B", V("x"))}, NegBody: []Atom{A("B", V("x"))}},
+	}}
+	s, err := p.strata()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s["A"] != 0 || s["B"] != 1 || s["C"] != 2 {
+		t.Fatalf("strata = %v", s)
+	}
+}
+
+func TestRecursionThroughNegationRejected(t *testing.T) {
+	// Win(x) ← Move(x,y), ¬Win(y): the game program is not stratified.
+	p := &Program{Rules: []Rule{
+		{Head: A("Win", V("x")), Body: []Atom{A("Move", V("x"), V("y"))},
+			NegBody: []Atom{A("Win", V("y"))}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("win-move program accepted despite recursion through negation")
+	}
+}
+
+func TestUnsafeNegationRejected(t *testing.T) {
+	// ¬Q(y) with y not bound positively.
+	p := &Program{Rules: []Rule{
+		{Head: A("P", V("x")), Body: []Atom{A("E", V("x"), V("x"))},
+			NegBody: []Atom{A("Q", V("y"))}},
+	}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("unsafe negation accepted")
+	}
+}
+
+func TestNegationOverEDB(t *testing.T) {
+	// Complement of an EDB relation restricted to the active domain.
+	b := database.NewBuilder().Relation("Node", 1).Relation("Mark", 1)
+	for i := 0; i < 4; i++ {
+		b.Domain(i)
+		b.Add("Node", i)
+	}
+	b.Add("Mark", 1).Add("Mark", 3)
+	db := b.MustBuild()
+	p := &Program{Rules: []Rule{
+		{Head: A("Unmarked", V("x")), Body: []Atom{A("Node", V("x"))}, NegBody: []Atom{A("Mark", V("x"))}},
+	}}
+	idb, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !idb["Unmarked"].Equal(relation.SetOf(1, relation.Tuple{0}, relation.Tuple{2})) {
+		t.Fatalf("Unmarked = %v", idb["Unmarked"])
+	}
+}
+
+func TestThreeStrataPipeline(t *testing.T) {
+	// Reach → Unreach (¬Reach) → Mixed pairs (Unreach × ¬Unreach).
+	b := database.NewBuilder().Relation("E", 2).Relation("Node", 1).Relation("Src", 1)
+	for i := 0; i < 4; i++ {
+		b.Domain(i)
+		b.Add("Node", i)
+	}
+	b.Add("E", 0, 1).Add("Src", 0)
+	db := b.MustBuild()
+	p := &Program{Rules: []Rule{
+		{Head: A("Reach", V("x")), Body: []Atom{A("Src", V("x"))}},
+		{Head: A("Reach", V("y")), Body: []Atom{A("Reach", V("x")), A("E", V("x"), V("y"))}},
+		{Head: A("Unreach", V("x")), Body: []Atom{A("Node", V("x"))}, NegBody: []Atom{A("Reach", V("x"))}},
+		{Head: A("Pair", V("x"), V("y")),
+			Body:    []Atom{A("Unreach", V("x")), A("Node", V("y"))},
+			NegBody: []Atom{A("Unreach", V("y"))}},
+	}}
+	idb, err := p.Eval(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unreach = {2,3}; reach = {0,1}; pairs = {2,3} × {0,1}.
+	if idb["Pair"].Len() != 4 {
+		t.Fatalf("Pair = %v", idb["Pair"])
+	}
+	if !idb["Pair"].Contains(relation.Tuple{2, 0}) || idb["Pair"].Contains(relation.Tuple{2, 2}) {
+		t.Fatalf("Pair wrong: %v", idb["Pair"])
+	}
+}

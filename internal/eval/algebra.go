@@ -1,0 +1,289 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Algebra evaluates an FO query by classical relational algebra: every
+// subformula is computed as a sparse relation over exactly its free
+// variables. This is the evaluation style of §1's motivating discussion —
+// the arity of an intermediate result equals the free-variable count of the
+// subformula, so queries of unbounded width materialize relations of
+// unbounded arity (the naive EMP/MGR/SCY/SAL plan with its 10-ary cross
+// product), while width-k queries stay k-bounded. The per-node arity and
+// size are reported in Stats.
+//
+// Only the FO fragment is supported; fixpoints and second-order quantifiers
+// return an error.
+func Algebra(q logic.Query, db *database.Database) (*relation.Set, error) {
+	ans, _, err := AlgebraStats(q, db)
+	return ans, err
+}
+
+// AlgebraStats is Algebra with work statistics.
+func AlgebraStats(q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
+	if err := q.Validate(signatureOf(db)); err != nil {
+		return nil, nil, err
+	}
+	if err := checkDomain(db); err != nil {
+		return nil, nil, err
+	}
+	if logic.Classify(q.Body) != logic.FragFO {
+		return nil, nil, fmt.Errorf("eval: Algebra evaluates FO only, got %v", logic.Classify(q.Body))
+	}
+	c := &algCtx{db: db, n: db.Size(), stats: &Stats{}}
+	r, err := c.eval(q.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Expand to the head schema: add unconstrained head variables, then
+	// project into head order.
+	r, err = c.cylindrify(r, q.Head)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := make([]int, len(q.Head))
+	for i, v := range q.Head {
+		cols[i] = indexOf(r.vars, v)
+	}
+	return r.set.Project(cols), c.stats, nil
+}
+
+// algRel is a relation over a sorted list of free variables.
+type algRel struct {
+	vars []logic.Var // sorted, distinct
+	set  *relation.Set
+}
+
+type algCtx struct {
+	db    *database.Database
+	n     int
+	stats *Stats
+}
+
+func (c *algCtx) observe(r algRel) algRel {
+	c.stats.SubformulaEvals++
+	c.stats.observe(len(r.vars), r.set.Len())
+	return r
+}
+
+func indexOf(vars []logic.Var, v logic.Var) int {
+	for i, w := range vars {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func sortedUnion(a, b []logic.Var) []logic.Var {
+	seen := make(map[logic.Var]bool, len(a)+len(b))
+	var out []logic.Var
+	for _, v := range a {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range b {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func (c *algCtx) eval(f logic.Formula) (algRel, error) {
+	switch g := f.(type) {
+	case logic.Atom:
+		return c.evalAtom(g)
+	case logic.Eq:
+		if g.L == g.R {
+			set := relation.NewSet(1)
+			for v := 0; v < c.n; v++ {
+				set.Add(relation.Tuple{v})
+			}
+			return c.observe(algRel{vars: []logic.Var{g.L}, set: set}), nil
+		}
+		vars := sortedUnion([]logic.Var{g.L}, []logic.Var{g.R})
+		set := relation.NewSet(2)
+		for v := 0; v < c.n; v++ {
+			set.Add(relation.Tuple{v, v})
+		}
+		return c.observe(algRel{vars: vars, set: set}), nil
+	case logic.Truth:
+		set := relation.NewSet(0)
+		if g.Value {
+			set.Add(relation.Tuple{})
+		}
+		return c.observe(algRel{set: set}), nil
+	case logic.Not:
+		r, err := c.eval(g.F)
+		if err != nil {
+			return algRel{}, err
+		}
+		full := c.fullRel(r.vars)
+		return c.observe(algRel{vars: r.vars, set: full.Difference(r.set)}), nil
+	case logic.Binary:
+		switch g.Op {
+		case logic.AndOp:
+			l, err := c.eval(g.L)
+			if err != nil {
+				return algRel{}, err
+			}
+			r, err := c.eval(g.R)
+			if err != nil {
+				return algRel{}, err
+			}
+			return c.join(l, r)
+		case logic.OrOp:
+			l, err := c.eval(g.L)
+			if err != nil {
+				return algRel{}, err
+			}
+			r, err := c.eval(g.R)
+			if err != nil {
+				return algRel{}, err
+			}
+			vars := sortedUnion(l.vars, r.vars)
+			le, err := c.cylindrify(l, vars)
+			if err != nil {
+				return algRel{}, err
+			}
+			re, err := c.cylindrify(r, vars)
+			if err != nil {
+				return algRel{}, err
+			}
+			return c.observe(algRel{vars: vars, set: le.set.Union(re.set)}), nil
+		case logic.ImpliesOp:
+			return c.eval(logic.Or(logic.Neg(g.L), g.R))
+		case logic.IffOp:
+			return c.eval(logic.Or(logic.And(g.L, g.R), logic.And(logic.Neg(g.L), logic.Neg(g.R))))
+		default:
+			return algRel{}, fmt.Errorf("eval: unknown binary op %v", g.Op)
+		}
+	case logic.Quant:
+		if g.Kind == logic.ForallQ {
+			// ∀x φ = ¬∃x ¬φ
+			return c.eval(logic.Neg(logic.Exists(logic.Neg(g.F), g.V)))
+		}
+		r, err := c.eval(g.F)
+		if err != nil {
+			return algRel{}, err
+		}
+		i := indexOf(r.vars, g.V)
+		if i < 0 {
+			// Vacuous quantification over a variable not free in the body:
+			// nonempty iff the body relation is nonempty... but the variable
+			// ranges over the domain, so for n = 0 the result is empty.
+			if c.n == 0 {
+				return c.observe(algRel{vars: r.vars, set: relation.NewSet(r.set.Arity())}), nil
+			}
+			return r, nil
+		}
+		var cols []int
+		var vars []logic.Var
+		for j, v := range r.vars {
+			if j != i {
+				cols = append(cols, j)
+				vars = append(vars, v)
+			}
+		}
+		return c.observe(algRel{vars: vars, set: r.set.Project(cols)}), nil
+	default:
+		return algRel{}, fmt.Errorf("eval: Algebra does not support %T", f)
+	}
+}
+
+func (c *algCtx) evalAtom(g logic.Atom) (algRel, error) {
+	rel, err := c.db.Rel(g.Rel)
+	if err != nil {
+		return algRel{}, err
+	}
+	// Select rows consistent with repeated variables, then project onto the
+	// distinct variables in sorted order.
+	vars := sortedUnion(g.Args, nil)
+	cols := make([]int, len(vars))
+	cur := rel
+	for pos, v := range g.Args {
+		first := true
+		for p2 := 0; p2 < pos; p2++ {
+			if g.Args[p2] == v {
+				first = false
+				cur = cur.SelectEq(p2, pos)
+				break
+			}
+		}
+		if first {
+			cols[indexOf(vars, v)] = pos
+		}
+	}
+	return c.observe(algRel{vars: vars, set: cur.Project(cols)}), nil
+}
+
+// join computes the natural join of two algebra relations on their shared
+// variables.
+func (c *algCtx) join(l, r algRel) (algRel, error) {
+	var on []relation.JoinOn
+	for i, v := range l.vars {
+		if j := indexOf(r.vars, v); j >= 0 {
+			on = append(on, relation.JoinOn{Left: i, Right: j})
+		}
+	}
+	joined := l.set.Join(r.set, on)
+	c.stats.observe(joined.Arity(), joined.Len())
+	vars := sortedUnion(l.vars, r.vars)
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		if j := indexOf(l.vars, v); j >= 0 {
+			cols[i] = j
+		} else {
+			cols[i] = len(l.vars) + indexOf(r.vars, v)
+		}
+	}
+	return c.observe(algRel{vars: vars, set: joined.Project(cols)}), nil
+}
+
+// cylindrify extends r to the variable list target (a superset of r.vars,
+// plus possibly extra variables), making the new columns range over D.
+func (c *algCtx) cylindrify(r algRel, target []logic.Var) (algRel, error) {
+	vars := sortedUnion(r.vars, target)
+	if len(vars) == len(r.vars) {
+		return r, nil
+	}
+	var missing []logic.Var
+	for _, v := range vars {
+		if indexOf(r.vars, v) < 0 {
+			missing = append(missing, v)
+		}
+	}
+	ext := r.set.Product(c.fullTuples(len(missing)))
+	c.stats.observe(ext.Arity(), ext.Len())
+	// Column i of ext: r.vars then missing.
+	extVars := append(append([]logic.Var(nil), r.vars...), missing...)
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		cols[i] = indexOf(extVars, v)
+	}
+	return c.observe(algRel{vars: vars, set: ext.Project(cols)}), nil
+}
+
+func (c *algCtx) fullRel(vars []logic.Var) *relation.Set {
+	return c.fullTuples(len(vars))
+}
+
+func (c *algCtx) fullTuples(arity int) *relation.Set {
+	out := relation.NewSet(arity)
+	forEachAssignment(c.n, arity, func(t []int) bool {
+		out.Add(t)
+		return true
+	})
+	return out
+}

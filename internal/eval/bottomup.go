@@ -1,0 +1,431 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// BottomUp evaluates a query by the Proposition 3.1 algorithm: every
+// subformula denotes a dense relation over the full tuple of the query's
+// variables, so all intermediate results have arity Width(q). The supported
+// fragments are FO, FP and PFP (second-order quantifiers need the eso
+// package). The answer is returned over domain indices 0..n−1.
+func BottomUp(q logic.Query, db *database.Database) (*relation.Set, error) {
+	ans, _, err := BottomUpStats(q, db, nil)
+	return ans, err
+}
+
+// BottomUpStats is BottomUp with options and work statistics.
+func BottomUpStats(q logic.Query, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
+	if err := q.Validate(signatureOf(db)); err != nil {
+		return nil, nil, err
+	}
+	if err := checkDomain(db); err != nil {
+		return nil, nil, err
+	}
+	if err := checkWidth(q, opts); err != nil {
+		return nil, nil, err
+	}
+	vars := q.Vars()
+	sp, err := relation.NewSpace(len(vars), db.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &buCtx{db: db, sp: sp, axes: make(map[logic.Var]int, len(vars)), env: newEnv(), stats: &Stats{}, opts: opts}
+	for i, v := range vars {
+		c.axes[v] = i
+	}
+	d, err := c.eval(q.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	head := make([]int, len(q.Head))
+	for i, v := range q.Head {
+		head[i] = c.axes[v]
+	}
+	return d.Project(head), c.stats, nil
+}
+
+// buCtx carries the evaluation state of one BottomUp run.
+type buCtx struct {
+	db    *database.Database
+	sp    *relation.Space
+	axes  map[logic.Var]int
+	env   *env
+	stats *Stats
+	opts  *Options
+}
+
+func (c *buCtx) axis(v logic.Var) (int, error) {
+	a, ok := c.axes[v]
+	if !ok {
+		return 0, fmt.Errorf("eval: variable %s has no axis (internal error)", v)
+	}
+	return a, nil
+}
+
+func (c *buCtx) axesOf(vs []logic.Var) ([]int, error) {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		a, err := c.axis(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// eval returns the dense denotation of f over the full variable tuple.
+func (c *buCtx) eval(f logic.Formula) (*relation.Dense, error) {
+	c.stats.SubformulaEvals++
+	d, err := c.evalNode(f)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.observe(c.sp.Arity(), d.Count())
+	return d, nil
+}
+
+func (c *buCtx) evalNode(f logic.Formula) (*relation.Dense, error) {
+	switch g := f.(type) {
+	case logic.Atom:
+		return c.evalAtom(g)
+	case logic.Eq:
+		la, err := c.axis(g.L)
+		if err != nil {
+			return nil, err
+		}
+		ra, err := c.axis(g.R)
+		if err != nil {
+			return nil, err
+		}
+		return c.sp.Diagonal(la, ra), nil
+	case logic.Truth:
+		if g.Value {
+			return c.sp.Full(), nil
+		}
+		return c.sp.Empty(), nil
+	case logic.Not:
+		d, err := c.eval(g.F)
+		if err != nil {
+			return nil, err
+		}
+		d.Complement()
+		return d, nil
+	case logic.Binary:
+		l, err := c.eval(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.eval(g.R)
+		if err != nil {
+			return nil, err
+		}
+		switch g.Op {
+		case logic.AndOp:
+			l.IntersectWith(r)
+		case logic.OrOp:
+			l.UnionWith(r)
+		case logic.ImpliesOp:
+			l.Complement()
+			l.UnionWith(r)
+		case logic.IffOp:
+			// l ↔ r = ¬(l xor r): complement of symmetric difference.
+			nl := l.Clone()
+			nl.Complement()
+			nr := r.Clone()
+			nr.Complement()
+			l.IntersectWith(r)   // l ∧ r
+			nl.IntersectWith(nr) // ¬l ∧ ¬r
+			l.UnionWith(nl)
+		default:
+			return nil, fmt.Errorf("eval: unknown binary op %v", g.Op)
+		}
+		return l, nil
+	case logic.Quant:
+		d, err := c.eval(g.F)
+		if err != nil {
+			return nil, err
+		}
+		a, err := c.axis(g.V)
+		if err != nil {
+			return nil, err
+		}
+		if g.Kind == logic.ExistsQ {
+			return d.ExistsAxis(a), nil
+		}
+		return d.ForallAxis(a), nil
+	case logic.Fix:
+		return c.evalFix(g)
+	case logic.SOQuant:
+		return nil, fmt.Errorf("eval: BottomUp does not evaluate second-order quantifiers; use the eso package")
+	default:
+		return nil, fmt.Errorf("eval: unknown formula %T", f)
+	}
+}
+
+func (c *buCtx) evalAtom(g logic.Atom) (*relation.Dense, error) {
+	args, err := c.axesOf(g.Args)
+	if err != nil {
+		return nil, err
+	}
+	if br, ok := c.env.rels[g.Rel]; ok {
+		if len(g.Args) != br.set.Arity()-len(br.params) {
+			return nil, fmt.Errorf("eval: %s used with %d arguments, bound with arity %d", g.Rel, len(g.Args), br.set.Arity()-len(br.params))
+		}
+		pax, err := c.axesOf(br.params)
+		if err != nil {
+			return nil, err
+		}
+		return c.sp.FromAtom(br.set, append(args, pax...))
+	}
+	rel, err := c.db.Rel(g.Rel)
+	if err != nil {
+		return nil, err
+	}
+	return c.sp.FromAtom(rel, args)
+}
+
+// evalFix computes the denotation of a fixpoint formula. For LFP/GFP with
+// parameter variables ȳ (free individual variables of the body besides the
+// recursion tuple), the recursion relation is extended to arity |x̄|+|ȳ| and
+// iterated simultaneously for every parameter value — the operator acts
+// pointwise in ȳ, so the extended fixpoint restricts to the per-parameter
+// fixpoint. PFP iterates per parameter assignment, with cycle detection for
+// divergence.
+func (c *buCtx) evalFix(g logic.Fix) (*relation.Dense, error) {
+	params := fixParams(g)
+	varAxes, err := c.axesOf(g.Vars)
+	if err != nil {
+		return nil, err
+	}
+	paramAxes, err := c.axesOf(params)
+	if err != nil {
+		return nil, err
+	}
+	argAxes, err := c.axesOf(g.Args)
+	if err != nil {
+		return nil, err
+	}
+	extCols := append(append([]int(nil), varAxes...), paramAxes...)
+
+	if g.Op == logic.PFP {
+		limit, err := c.evalPFP(g, params, varAxes, paramAxes)
+		if err != nil {
+			return nil, err
+		}
+		return c.sp.FromAtom(limit, append(argAxes, paramAxes...))
+	}
+
+	ext := len(g.Vars) + len(params)
+	cur := relation.NewSet(ext)
+	if g.Op == logic.GFP {
+		cur = c.fullSet(ext)
+	}
+	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
+	defer restore()
+	for {
+		c.stats.FixIterations++
+		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
+		body, err := c.eval(g.Body)
+		if err != nil {
+			return nil, err
+		}
+		next := body.Project(extCols)
+		if g.Op == logic.IFP {
+			// Inflationary stages: S_{i+1} = S_i ∪ φ(S_i); converge within
+			// n^ext steps with no positivity requirement.
+			next = next.Union(cur)
+		}
+		if next.Equal(cur) {
+			break
+		}
+		cur = next
+	}
+	return c.sp.FromAtom(cur, append(argAxes, paramAxes...))
+}
+
+// evalPFP computes the partial fixpoint per parameter assignment and returns
+// the union as an extended (|x̄|+|ȳ|)-ary relation.
+func (c *buCtx) evalPFP(g logic.Fix, params []logic.Var, varAxes, paramAxes []int) (*relation.Set, error) {
+	m := len(g.Vars)
+	out := relation.NewSet(m + len(params))
+	budget := DefaultPFPBudget
+	mode := CycleHash
+	if c.opts != nil {
+		if c.opts.PFPBudget > 0 {
+			budget = c.opts.PFPBudget
+		}
+		mode = c.opts.PFPCycle
+	}
+	msp, err := relation.NewSpace(m, c.db.Size())
+	if err != nil {
+		return nil, err
+	}
+	var perr error
+	forEachAssignment(c.db.Size(), len(params), func(assign []int) bool {
+		// step computes one stage of the operator for this assignment.
+		step := func(s *relation.Set) (*relation.Set, error) {
+			c.stats.FixIterations++
+			restore := c.env.bind(g.Rel, boundRel{set: s})
+			body, err := c.eval(g.Body)
+			restore()
+			if err != nil {
+				return nil, err
+			}
+			proj := body.Project(append(append([]int(nil), varAxes...), paramAxes...))
+			next := relation.NewSet(m)
+			proj.ForEach(func(t relation.Tuple) {
+				for i, v := range assign {
+					if t[m+i] != v {
+						return
+					}
+				}
+				next.Add(t[:m])
+			})
+			return next, nil
+		}
+		var limit *relation.Set
+		switch mode {
+		case CycleBrent:
+			limit, perr = pfpBrent(step, m, msp, budget)
+		default:
+			limit, perr = pfpHash(step, m, msp, budget)
+		}
+		if perr != nil {
+			return false
+		}
+		limit.ForEach(func(t relation.Tuple) {
+			ext := make(relation.Tuple, m+len(assign))
+			copy(ext, t)
+			copy(ext[m:], assign)
+			out.Add(ext)
+		})
+		return true
+	})
+	if perr != nil {
+		return nil, perr
+	}
+	return out, nil
+}
+
+// pfpHash iterates step from ∅, remembering a hash of every stage; the run
+// is eventually periodic, and the partial fixpoint is the repeated value if
+// the period is 1, the empty relation otherwise (§2.2).
+func pfpHash(step func(*relation.Set) (*relation.Set, error), m int, msp *relation.Space, budget int) (*relation.Set, error) {
+	cur := relation.NewSet(m)
+	seen := map[uint64][]*relation.Set{}
+	key := func(s *relation.Set) (uint64, error) {
+		d, err := s.ToDense(msp)
+		if err != nil {
+			return 0, err
+		}
+		return d.Hash(), nil
+	}
+	k, err := key(cur)
+	if err != nil {
+		return nil, err
+	}
+	seen[k] = append(seen[k], cur)
+	for i := 0; i < budget; i++ {
+		next, err := step(cur)
+		if err != nil {
+			return nil, err
+		}
+		if next.Equal(cur) {
+			return cur, nil // converged
+		}
+		k, err := key(next)
+		if err != nil {
+			return nil, err
+		}
+		for _, prev := range seen[k] {
+			if prev.Equal(next) {
+				// Revisited an earlier stage without convergence: the run is
+				// periodic with period > 1, so the limit does not exist.
+				return relation.NewSet(m), nil
+			}
+		}
+		seen[k] = append(seen[k], next)
+		cur = next
+	}
+	return nil, fmt.Errorf("eval: pfp run exceeded %d stages: %w", budget, ErrBudget)
+}
+
+// pfpBrent is pfpHash with Brent's cycle-finding algorithm: it keeps only
+// two stages live at a time, at the cost of re-running the operator.
+func pfpBrent(step func(*relation.Set) (*relation.Set, error), m int, _ *relation.Space, budget int) (*relation.Set, error) {
+	// Find the cycle length lam with Brent's power-of-two windows.
+	power, lam := 1, 1
+	tortoise := relation.NewSet(m)
+	hare, err := step(tortoise)
+	if err != nil {
+		return nil, err
+	}
+	steps := 1
+	for !tortoise.Equal(hare) {
+		if power == lam {
+			tortoise = hare
+			power *= 2
+			lam = 0
+		}
+		hare, err = step(hare)
+		if err != nil {
+			return nil, err
+		}
+		lam++
+		steps++
+		if steps > budget {
+			return nil, fmt.Errorf("eval: pfp run exceeded %d stages: %w", budget, ErrBudget)
+		}
+	}
+	if lam == 1 {
+		// Period 1: the run converges, and hare is the limit.
+		return hare, nil
+	}
+	return relation.NewSet(m), nil
+}
+
+// fixParams returns the fixpoint's parameter variables: free individual
+// variables of the body not bound by the recursion tuple, sorted by name.
+func fixParams(g logic.Fix) []logic.Var {
+	free := logic.FreeVars(g.Body)
+	for _, v := range g.Vars {
+		delete(free, v)
+	}
+	return logic.SortedVars(free)
+}
+
+// fullSet returns the set of all arity-tuples over the database domain.
+func (c *buCtx) fullSet(arity int) *relation.Set {
+	out := relation.NewSet(arity)
+	forEachAssignment(c.db.Size(), arity, func(t []int) bool {
+		out.Add(t)
+		return true
+	})
+	return out
+}
+
+// forEachAssignment enumerates all n^m assignments, calling fn with a reused
+// buffer; fn returns false to stop.
+func forEachAssignment(n, m int, fn func([]int) bool) {
+	t := make([]int, m)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == m {
+			return fn(t)
+		}
+		for v := 0; v < n; v++ {
+			t[i] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}

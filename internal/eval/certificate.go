@@ -1,0 +1,388 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// This file implements Theorem 3.5: the combined complexity of FPᵏ is in
+// NP ∩ co-NP. The algorithm approximates least AND greatest fixpoints from
+// below (Lemmas 3.3 and 3.4):
+//
+//   - Lemma 3.3: a ∈ gfp(f) iff there is a post-fixpoint Q (Q ⊆ f′(Q) for
+//     some monotone f′ ⊑ f) with a ∈ Q. The certificate *guesses* Q; the
+//     verifier checks the inclusion with one body evaluation.
+//
+//   - Lemma 3.4: a ∈ lfp(f) iff a ∈ ⋃ Qᵢ for an increasing chain
+//     Q₀ = ∅, Qᵢ = fᵢ(Q_{i−1}) with monotone f₁ ⊑ f₂ ⊑ … ⊑ f. The chain
+//     need not be guessed: the verifier *computes* it, warm-starting each
+//     least fixpoint from its previous value whenever the evaluation
+//     context has grown (the fᵢ of the lemma are the body operators with
+//     the current, growing under-approximations of the guessed gfp nodes
+//     plugged in).
+//
+// Every re-evaluation in the run happens under a non-decreasing environment
+// (outer lfp stages grow; guessed gfp chains grow), so each fixpoint node's
+// value advances at most nᵏ times across the entire run: the iteration count
+// drops from the naive n^{kl} (l = alternation depth) to l·nᵏ, at the cost
+// of nondeterminism — realized here as an explicit Certificate found by a
+// (deterministic, possibly expensive) prover and checked by a polynomial
+// verifier.
+//
+// Certificate identifies fixpoint nodes by their syntactic path from the
+// root, so Find and Verify traverse identically.
+
+// Certificate is the NP witness for an FPᵏ query evaluation: one increasing
+// chain of (extended-arity) relation values per GFP node, indexed by the
+// node's syntactic path. The i-th evaluation of the node uses chain element
+// min(i, len−1).
+type Certificate struct {
+	Chains map[string][]*relation.Set
+}
+
+// Size reports the certificate's bulk: the number of gfp nodes covered, the
+// total number of chain elements, and the total number of tuples across all
+// chain elements. The tuple total is bounded by (#gfp nodes)·(chain length)
+// ·nᵏ — polynomial in the query and the database, which is what makes the
+// Theorem 3.5 witness an NP certificate.
+func (c *Certificate) Size() (nodes, elements, tuples int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	for _, chain := range c.Chains {
+		nodes++
+		elements += len(chain)
+		for _, s := range chain {
+			tuples += s.Len()
+		}
+	}
+	return nodes, elements, tuples
+}
+
+// CertResult is the outcome of a certified evaluation.
+type CertResult struct {
+	Answer *relation.Set
+	Stats  Stats
+}
+
+// FindCertificate evaluates q and constructs a certificate for the answer.
+// The body is normalized to NNF first (Verify does the same). Only the FP
+// fragment is supported. The prover computes each greatest fixpoint exactly
+// (paying the nested-iteration price); the certificate it emits lets Verify
+// redo the evaluation with l·nᵏ cheap stages.
+func FindCertificate(q logic.Query, db *database.Database) (*Certificate, *CertResult, error) {
+	c, body, err := newCertCtx(q, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mode = certFind
+	c.cert = &Certificate{Chains: make(map[string][]*relation.Set)}
+	d, err := c.eval(body, "r")
+	if err != nil {
+		return nil, nil, err
+	}
+	head := make([]int, len(q.Head))
+	for i, v := range q.Head {
+		head[i] = c.axes[v]
+	}
+	return c.cert, &CertResult{Answer: d.Project(head), Stats: *c.stats}, nil
+}
+
+// VerifyCertificate replays the evaluation of q using the guessed gfp chains
+// in cert, checking the Lemma 3.3 post-fixpoint condition at every use. On
+// success it returns the certified answer, which is guaranteed to be a
+// subset of the true answer (and equals it for certificates produced by
+// FindCertificate). A tampered certificate fails either a chain check or
+// the final comparison made by the caller.
+func VerifyCertificate(q logic.Query, db *database.Database, cert *Certificate) (*CertResult, error) {
+	c, body, err := newCertCtx(q, db)
+	if err != nil {
+		return nil, err
+	}
+	c.mode = certVerify
+	c.cert = cert
+	if err := c.checkChainsIncreasing(); err != nil {
+		return nil, err
+	}
+	d, err := c.eval(body, "r")
+	if err != nil {
+		return nil, err
+	}
+	head := make([]int, len(q.Head))
+	for i, v := range q.Head {
+		head[i] = c.axes[v]
+	}
+	return &CertResult{Answer: d.Project(head), Stats: *c.stats}, nil
+}
+
+// NegateQuery returns the query whose answer is the complement of q's:
+// (x̄). ¬body, normalized. Certifying a tuple into the negated query's
+// answer refutes its membership in q — the co-NP half of Theorem 3.5.
+func NegateQuery(q logic.Query) (logic.Query, error) {
+	body, err := logic.NNF(logic.Not{F: q.Body})
+	if err != nil {
+		return logic.Query{}, err
+	}
+	return logic.NewQuery(q.Head, body)
+}
+
+type certMode int
+
+const (
+	certFind certMode = iota
+	certVerify
+)
+
+type certCtx struct {
+	db    *database.Database
+	sp    *relation.Space
+	axes  map[logic.Var]int
+	env   *env
+	stats *Stats
+	mode  certMode
+	cert  *Certificate
+	// cursor counts evaluations of each gfp node; memo warm-starts each lfp
+	// node.
+	cursor map[string]int
+	memo   map[string]*relation.Set
+}
+
+func newCertCtx(q logic.Query, db *database.Database) (*certCtx, logic.Formula, error) {
+	if err := q.Validate(signatureOf(db)); err != nil {
+		return nil, nil, err
+	}
+	if err := checkDomain(db); err != nil {
+		return nil, nil, err
+	}
+	body, err := logic.NNF(q.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fr := logic.Classify(body); fr != logic.FragFO && fr != logic.FragFP {
+		return nil, nil, fmt.Errorf("eval: certificates apply to FP queries, got %v", fr)
+	}
+	if err := logic.Validate(body, nil); err != nil {
+		return nil, nil, err
+	}
+	vars := q.Vars()
+	sp, err := relation.NewSpace(len(vars), db.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &certCtx{
+		db:     db,
+		sp:     sp,
+		axes:   make(map[logic.Var]int, len(vars)),
+		env:    newEnv(),
+		stats:  &Stats{},
+		cursor: make(map[string]int),
+		memo:   make(map[string]*relation.Set),
+	}
+	for i, v := range vars {
+		c.axes[v] = i
+	}
+	return c, body, nil
+}
+
+func (c *certCtx) checkChainsIncreasing() error {
+	if c.cert == nil || c.cert.Chains == nil {
+		return fmt.Errorf("eval: nil certificate")
+	}
+	for path, chain := range c.cert.Chains {
+		if len(chain) == 0 {
+			return fmt.Errorf("eval: empty chain at %s", path)
+		}
+		for i := 1; i < len(chain); i++ {
+			if !chain[i-1].SubsetOf(chain[i]) {
+				return fmt.Errorf("eval: chain at %s not increasing at step %d", path, i)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *certCtx) axesOf(vs []logic.Var) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = c.axes[v]
+	}
+	return out
+}
+
+// eval computes the certified under-approximate denotation of f. The path
+// argument names f's position in the tree, so both modes agree on node
+// identity.
+func (c *certCtx) eval(f logic.Formula, path string) (*relation.Dense, error) {
+	c.stats.SubformulaEvals++
+	switch g := f.(type) {
+	case logic.Atom:
+		if br, ok := c.env.rels[g.Rel]; ok {
+			return c.sp.FromAtom(br.set, append(c.axesOf(g.Args), c.axesOf(br.params)...))
+		}
+		rel, err := c.db.Rel(g.Rel)
+		if err != nil {
+			return nil, err
+		}
+		return c.sp.FromAtom(rel, c.axesOf(g.Args))
+	case logic.Eq:
+		return c.sp.Diagonal(c.axes[g.L], c.axes[g.R]), nil
+	case logic.Truth:
+		if g.Value {
+			return c.sp.Full(), nil
+		}
+		return c.sp.Empty(), nil
+	case logic.Not:
+		// NNF: negation only over atoms/equalities, which are exact.
+		d, err := c.eval(g.F, path+".n")
+		if err != nil {
+			return nil, err
+		}
+		d.Complement()
+		return d, nil
+	case logic.Binary:
+		l, err := c.eval(g.L, path+".l")
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.eval(g.R, path+".r")
+		if err != nil {
+			return nil, err
+		}
+		switch g.Op {
+		case logic.AndOp:
+			l.IntersectWith(r)
+		case logic.OrOp:
+			l.UnionWith(r)
+		default:
+			return nil, fmt.Errorf("eval: %v connective survived NNF", g.Op)
+		}
+		return l, nil
+	case logic.Quant:
+		d, err := c.eval(g.F, path+".q")
+		if err != nil {
+			return nil, err
+		}
+		if g.Kind == logic.ExistsQ {
+			return d.ExistsAxis(c.axes[g.V]), nil
+		}
+		return d.ForallAxis(c.axes[g.V]), nil
+	case logic.Fix:
+		switch g.Op {
+		case logic.LFP:
+			return c.evalLfp(g, path)
+		case logic.GFP:
+			return c.evalGfp(g, path)
+		default:
+			return nil, fmt.Errorf("eval: certificates do not cover PFP")
+		}
+	default:
+		return nil, fmt.Errorf("eval: certificates do not cover %T", f)
+	}
+}
+
+// evalLfp computes a least fixpoint by the Lemma 3.4 chain, warm-starting
+// from the node's value at its previous evaluation (sound because every
+// re-evaluation happens under a non-decreasing environment).
+func (c *certCtx) evalLfp(g logic.Fix, path string) (*relation.Dense, error) {
+	params := fixParams(g)
+	ext := len(g.Vars) + len(params)
+	extCols := append(c.axesOf(g.Vars), c.axesOf(params)...)
+	cur := c.memo[path]
+	if cur == nil {
+		cur = relation.NewSet(ext)
+	}
+	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
+	defer restore()
+	for {
+		c.stats.FixIterations++
+		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
+		body, err := c.eval(g.Body, path+".b")
+		if err != nil {
+			return nil, err
+		}
+		next := body.Project(extCols)
+		// Lemma 3.4 chains are increasing: fold in the previous stage.
+		next = next.Union(cur)
+		if next.Equal(cur) {
+			break
+		}
+		cur = next
+	}
+	c.memo[path] = cur
+	return c.sp.FromAtom(cur, append(c.axesOf(g.Args), c.axesOf(params)...))
+}
+
+// evalGfp handles a greatest fixpoint node: the verifier takes the next
+// element of the node's guessed chain and checks the Lemma 3.3 post-fixpoint
+// condition; the prover computes the true fixpoint (via a throwaway exact
+// sub-evaluation), records it on the chain, and then performs the same
+// mirror check so both modes advance inner nodes identically.
+func (c *certCtx) evalGfp(g logic.Fix, path string) (*relation.Dense, error) {
+	params := fixParams(g)
+	extCols := append(c.axesOf(g.Vars), c.axesOf(params)...)
+	n := c.cursor[path]
+	c.cursor[path] = n + 1
+
+	var q *relation.Set
+	switch c.mode {
+	case certFind:
+		val, err := c.exactGfp(g, params, extCols)
+		if err != nil {
+			return nil, err
+		}
+		c.cert.Chains[path] = append(c.cert.Chains[path], val)
+		q = val
+	case certVerify:
+		chain := c.cert.Chains[path]
+		if len(chain) == 0 {
+			return nil, fmt.Errorf("eval: certificate has no chain for gfp node %s", path)
+		}
+		if n >= len(chain) {
+			n = len(chain) - 1
+		}
+		q = chain[n]
+		if q.Arity() != len(g.Vars)+len(params) {
+			return nil, fmt.Errorf("eval: chain at %s has arity %d, want %d", path, q.Arity(), len(g.Vars)+len(params))
+		}
+	}
+
+	// Mirror check (Lemma 3.3): Q ⊆ f′(Q), evaluated with the certified
+	// under-approximations of everything inside the body.
+	restore := c.env.bind(g.Rel, boundRel{set: q, params: params})
+	c.stats.FixIterations++
+	body, err := c.eval(g.Body, path+".b")
+	restore()
+	if err != nil {
+		return nil, err
+	}
+	if !q.SubsetOf(body.Project(extCols)) {
+		return nil, fmt.Errorf("eval: post-fixpoint check failed for gfp node %s", path)
+	}
+	return c.sp.FromAtom(q, append(c.axesOf(g.Args), c.axesOf(params)...))
+}
+
+// exactGfp computes the true greatest fixpoint of g under the current
+// environment with a plain nested Kleene iteration (no certificate state
+// touched). This is prover-side work only.
+func (c *certCtx) exactGfp(g logic.Fix, params []logic.Var, extCols []int) (*relation.Set, error) {
+	sub := &buCtx{db: c.db, sp: c.sp, axes: c.axes, env: c.env, stats: c.stats, opts: nil}
+	ext := len(g.Vars) + len(params)
+	cur := sub.fullSet(ext)
+	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
+	defer restore()
+	for {
+		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
+		body, err := sub.eval(g.Body)
+		if err != nil {
+			return nil, err
+		}
+		next := body.Project(extCols)
+		if next.Equal(cur) {
+			return cur, nil
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,85 @@
+package eso
+
+import (
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// TestConsistencyAssertionsAreNecessary is the Lemma 3.6 ablation: dropping
+// the view-consistency assertions lets the views disagree on overlapping
+// cells and flips an unsatisfiable sentence to satisfiable. The design
+// choice (quadratic assertion family) is load-bearing, not decorative.
+func TestConsistencyAssertionsAreNecessary(t *testing.T) {
+	// ∃S ( S(x,x,y) somewhere ∧ ∀x∀y ¬S(x,y,y) ): over a 1-element domain
+	// both atoms denote the same cell S(a,a,a), so the sentence is
+	// unsatisfiable — but only consistency between the two views knows that.
+	f := logic.SOExists(
+		logic.And(
+			logic.Exists(logic.R("S", "x", "x", "y"), "x", "y"),
+			logic.Forall(logic.Neg(logic.R("S", "x", "y", "y")), "x", "y")),
+		logic.RelVar{Name: "S", Arity: 3})
+	db := database.NewBuilder().Domain(0).MustBuild()
+
+	holds, _, _, err := Holds(f, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if holds {
+		t.Fatal("full reduction should report unsatisfiable on the 1-element domain")
+	}
+
+	ablated, err := reduceArity(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ablated.Assertions != 0 {
+		t.Fatalf("ablated reduction still has %d assertions", ablated.Assertions)
+	}
+	g, err := Ground(ablated.Formula, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnf, err := g.Circuit.ToCNF(g.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sat.Solve(cnf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SAT {
+		t.Fatal("ablation inconclusive: even without assertions the instance is unsatisfiable")
+	}
+}
+
+func TestAssertionCountQuadraticInPatterns(t *testing.T) {
+	// More distinct atom patterns → more assertion pairs; the family is
+	// quadratic in the number of patterns (the paper's size bound).
+	mk := func(patterns int) int {
+		conj := []logic.Formula{logic.Exists(logic.R("S", "x", "x", "y"), "x", "y")}
+		pats := [][]logic.Var{
+			{"x", "y", "x"}, {"x", "y", "y"}, {"y", "x", "x"}, {"y", "y", "x"},
+		}
+		for i := 0; i < patterns-1; i++ {
+			conj = append(conj,
+				logic.Forall(logic.Implies(logic.R("S", pats[i]...), logic.R("E", "x", "y")), "x", "y"))
+		}
+		f := logic.SOExists(logic.And(conj...), logic.RelVar{Name: "S", Arity: 3})
+		red, err := ReduceArity(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return red.Assertions
+	}
+	a2, a3, a4 := mk(2), mk(3), mk(4)
+	if !(a2 < a3 && a3 < a4) {
+		t.Fatalf("assertion counts not growing: %d, %d, %d", a2, a3, a4)
+	}
+	// Quadratic-ish: second difference positive.
+	if (a4 - a3) <= (a3 - a2) {
+		t.Logf("assertion growth: %d, %d, %d (differences %d, %d)", a2, a3, a4, a3-a2, a4-a3)
+	}
+}

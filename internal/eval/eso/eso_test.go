@@ -1,0 +1,323 @@
+package eso
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+func graphDB(t testing.TB, n int, edges [][2]int) *database.Database {
+	t.Helper()
+	b := database.NewBuilder().Relation("E", 2)
+	for i := 0; i < n; i++ {
+		b.Domain(i)
+	}
+	for _, e := range edges {
+		b.Add("E", e[0], e[1]).Add("E", e[1], e[0])
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// twoColorable is the ESO² sentence ∃C ∀x∀y (E(x,y) → ¬(C(x)↔C(y))).
+func twoColorable() logic.Formula {
+	return logic.SOExists(
+		logic.Forall(logic.Implies(logic.R("E", "x", "y"),
+			logic.Neg(logic.Iff(logic.R("C", "x"), logic.R("C", "y")))), "x", "y"),
+		logic.RelVar{Name: "C", Arity: 1})
+}
+
+func TestTwoColorability(t *testing.T) {
+	even := graphDB(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}) // C4: bipartite
+	odd := graphDB(t, 3, [][2]int{{0, 1}, {1, 2}, {2, 0}})          // C3: not
+
+	h, w, _, err := Holds(twoColorable(), even, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h {
+		t.Fatal("C4 should be 2-colorable")
+	}
+	if w == nil {
+		t.Fatal("no witness for SAT instance")
+	}
+	h, _, _, err = Holds(twoColorable(), odd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h {
+		t.Fatal("C3 reported 2-colorable")
+	}
+}
+
+func TestWitnessSatisfiesMatrix(t *testing.T) {
+	// Inject the witness into a database and check the matrix with the
+	// trusted naive evaluator.
+	db := graphDB(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	h, w, _, err := Holds(twoColorable(), db, nil)
+	if err != nil || !h {
+		t.Fatalf("holds=%v err=%v", h, err)
+	}
+	c, ok := w["C"]
+	if !ok {
+		t.Fatalf("witness lacks C: %v", w)
+	}
+	b := database.NewBuilder().Relation("E", 2).Relation("C", 1)
+	for i := 0; i < 4; i++ {
+		b.Domain(i)
+	}
+	e, _ := db.Rel("E")
+	e.ForEach(func(tp relation.Tuple) { b.Add("E", tp[0], tp[1]) })
+	c.ForEach(func(tp relation.Tuple) { b.Add("C", tp[0]) })
+	ext := b.MustBuild()
+	matrix := logic.Forall(logic.Implies(logic.R("E", "x", "y"),
+		logic.Neg(logic.Iff(logic.R("C", "x"), logic.R("C", "y")))), "x", "y")
+	holds, err := eval.NaiveHolds(matrix, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !holds {
+		t.Fatalf("witness C=%v does not 2-color the graph", c)
+	}
+}
+
+func TestReduceArityLeavesLowArity(t *testing.T) {
+	red, err := ReduceArity(twoColorable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.Assertions != 0 || len(red.Views) != 0 {
+		t.Fatalf("low-arity relation was reduced: %+v", red)
+	}
+}
+
+// highArityFormula quantifies a 4-ary relation in a 2-variable formula —
+// the Lemma 3.6 situation. It says: ∃S ( S(x,x,y,y) somewhere ∧
+// ∀x∀y(S(x,x,y,y) → S(x,y,x,y)) ∧ nothing S(x,y,x,y) on the diagonal... )
+func highArityFormula() logic.Formula {
+	return logic.SOExists(
+		logic.And(
+			logic.Exists(logic.R("S", "x", "x", "y", "y"), "x", "y"),
+			logic.Forall(logic.Implies(logic.R("S", "x", "y", "x", "y"), logic.R("E", "x", "y")), "x", "y")),
+		logic.RelVar{Name: "S", Arity: 4})
+}
+
+func TestReduceArityHighArity(t *testing.T) {
+	red, err := ReduceArity(highArityFormula())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red.Views) != 2 {
+		t.Fatalf("expected 2 views, got %v", red.Views)
+	}
+	if red.Assertions == 0 {
+		t.Fatal("no consistency assertions generated")
+	}
+	// All quantified relations in the reduced formula have arity ≤ width 2.
+	f := red.Formula
+	for {
+		so, ok := f.(logic.SOQuant)
+		if !ok {
+			break
+		}
+		if so.Arity > 2 {
+			t.Fatalf("view %s has arity %d > 2", so.Rel, so.Arity)
+		}
+		f = so.F
+	}
+	if err := logic.Validate(red.Formula, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceArityEquivalence(t *testing.T) {
+	// The crucial property: reduction preserves the answer on every
+	// database. Cross-check against naive SO enumeration (which handles the
+	// original 4-ary relation only on 1-element domains; build a formula
+	// with a 3-ary relation over 2 elements instead: 2³ = 8 ≤ cap).
+	f := logic.SOExists(
+		logic.And(
+			logic.Exists(logic.R("S", "x", "x", "y"), "x", "y"),
+			logic.Forall(logic.Implies(logic.R("S", "x", "y", "x"), logic.R("E", "x", "y")), "x", "y"),
+			logic.Forall(logic.Implies(logic.R("S", "x", "y", "y"), logic.R("E", "x", "y")), "x", "y")),
+		logic.RelVar{Name: "S", Arity: 3})
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		var edges [][2]int
+		for i := 0; i < 2; i++ {
+			for j := 0; j < 2; j++ {
+				if r.Intn(2) == 0 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		db := graphDB(t, 2, edges)
+		want, err := eval.NaiveHolds(f, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, _, err := Holds(f, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("reduction changed the answer: got %v, naive %v on\n%s", got, want, db)
+		}
+	}
+}
+
+func TestCrossValidateESOAgainstNaive(t *testing.T) {
+	// Random low-arity ESO sentences vs naive enumeration.
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(2)
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Intn(3) == 0 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		db := graphDB(t, n, edges)
+		matrix := randMatrix(r, 3)
+		matrix = logic.Exists(matrix, logic.SortedVars(logic.FreeVars(matrix))...)
+		f := logic.SOExists(matrix, logic.RelVar{Name: "C", Arity: 1})
+		want, err := eval.NaiveHolds(f, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, _, err := Holds(f, db, nil)
+		if err != nil {
+			t.Fatalf("Holds(%s): %v", f, err)
+		}
+		if got != want {
+			t.Fatalf("ESO disagreement on %s: got %v, naive %v\n%s", f, got, want, db)
+		}
+	}
+}
+
+func randMatrix(r *rand.Rand, depth int) logic.Formula {
+	vars := []logic.Var{"x", "y"}
+	v := func() logic.Var { return vars[r.Intn(len(vars))] }
+	if depth == 0 || r.Intn(5) == 0 {
+		switch r.Intn(3) {
+		case 0:
+			return logic.R("E", v(), v())
+		case 1:
+			return logic.R("C", v())
+		default:
+			return logic.Equal(v(), v())
+		}
+	}
+	sub := func() logic.Formula { return randMatrix(r, depth-1) }
+	switch r.Intn(5) {
+	case 0:
+		return logic.Not{F: sub()}
+	case 1:
+		return logic.Binary{Op: logic.AndOp, L: sub(), R: sub()}
+	case 2:
+		return logic.Binary{Op: logic.OrOp, L: sub(), R: sub()}
+	default:
+		return logic.Quant{Kind: logic.QuantKind(r.Intn(2)), V: v(), F: sub()}
+	}
+}
+
+func TestEvalQueryWithFreeVars(t *testing.T) {
+	// (u). ∃C: C is a 2-coloring and C(u) — the nodes on the "true" side of
+	// some valid coloring: on a bipartite graph every node qualifies (flip
+	// the coloring); on an odd cycle none do.
+	body := logic.SOExists(
+		logic.And(
+			logic.Forall(logic.Implies(logic.R("E", "x", "y"),
+				logic.Neg(logic.Iff(logic.R("C", "x"), logic.R("C", "y")))), "x", "y"),
+			logic.R("C", "u")),
+		logic.RelVar{Name: "C", Arity: 1})
+	q := logic.MustQuery([]logic.Var{"u"}, body)
+
+	even := graphDB(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	got, err := Eval(q, even)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("bipartite: got %v, want all 4", got)
+	}
+	odd := graphDB(t, 3, [][2]int{{0, 1}, {1, 2}, {2, 0}})
+	got, err = Eval(q, odd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("odd cycle: got %v, want empty", got)
+	}
+}
+
+func TestGroundingIsPolynomialBySharing(t *testing.T) {
+	// A deeply nested 2-variable formula grounds to O(|φ|·n²) gates, not
+	// O(n^depth): subformula sharing keeps it polynomial.
+	f := logic.Formula(logic.R("C", "x"))
+	depth := 12
+	for i := 0; i < depth; i++ {
+		f = logic.Exists(logic.And(logic.R("E", "x", "y"),
+			logic.Exists(logic.And(logic.Equal("x", "y"), f), "x")), "y")
+	}
+	sentence := logic.SOExists(logic.Exists(f, "x"), logic.RelVar{Name: "C", Arity: 1})
+	db := graphDB(t, 3, [][2]int{{0, 1}, {1, 2}})
+	g, err := Ground(sentence, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := g.Circuit.Size()
+	bound := logic.Size(sentence) * 3 * 3 * 10 // |φ|·n²·slack
+	if size > bound {
+		t.Fatalf("circuit size %d exceeds polynomial bound %d", size, bound)
+	}
+}
+
+func TestHoldsRejectsNonPrenex(t *testing.T) {
+	db := graphDB(t, 2, nil)
+	f := logic.Neg(logic.SOExists(logic.True, logic.RelVar{Name: "S", Arity: 1}))
+	if _, _, _, err := Holds(f, db, nil); err == nil {
+		t.Fatal("non-prenex formula accepted")
+	}
+	fix := logic.SOExists(
+		logic.Lfp("T", []logic.Var{"x"}, logic.Or(logic.R("S", "x"), logic.R("T", "x")), "x"),
+		logic.RelVar{Name: "S", Arity: 1})
+	q := logic.Exists(fix, "x")
+	if _, _, _, err := Holds(q, db, nil); err == nil {
+		t.Fatal("fixpoint matrix accepted")
+	}
+}
+
+func TestZeroAryESO(t *testing.T) {
+	// Theorem 4.5 setting: propositions as 0-ary relation variables.
+	// ∃P∃Q ((P ∨ Q) ∧ ¬P) is satisfiable; ∃P (P ∧ ¬P) is not.
+	db := graphDB(t, 2, nil)
+	sat1 := logic.SOExists(
+		logic.And(logic.Or(logic.R("P"), logic.R("Q")), logic.Neg(logic.R("P"))),
+		logic.RelVar{Name: "P", Arity: 0}, logic.RelVar{Name: "Q", Arity: 0})
+	h, _, _, err := Holds(sat1, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h {
+		t.Fatal("(P∨Q)∧¬P should be satisfiable")
+	}
+	unsat := logic.SOExists(logic.And(logic.R("P"), logic.Neg(logic.R("P"))),
+		logic.RelVar{Name: "P", Arity: 0})
+	h, _, _, err = Holds(unsat, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h {
+		t.Fatal("P∧¬P reported satisfiable")
+	}
+}

@@ -1,0 +1,318 @@
+// Package eso evaluates existential second-order queries (ESO, §3.3 of
+// Vardi PODS 1995) and implements the Lemma 3.6 arity reduction that makes
+// bounded-variable ESO an NP problem:
+//
+//	Every ESOᵏ formula is equivalent to one in which the quantified
+//	relations have arity at most k, at a polynomial size increase.
+//
+// Each atom S(u₁,…,u_l) of a high-arity quantified relation mentions only
+// the k individual variables, so it is replaced by a k-ary "view" predicate
+// S⟨u⟩ applied to the canonical variable tuple; consistency assertions then
+// force all views of one relation to agree wherever their equality patterns
+// overlap. The reduced formula is grounded over the database domain into a
+// Boolean circuit (polynomial, by subformula sharing) and handed to the CDCL
+// solver in internal/sat — the executable form of Corollary 3.7 (ESOᵏ ∈ NP).
+package eso
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Reduced is the output of ReduceArity.
+type Reduced struct {
+	// Formula is the equivalent ESO formula whose quantified relations all
+	// have arity ≤ the variable width.
+	Formula logic.Formula
+	// Views maps each introduced view predicate to the relation and atom
+	// pattern it stands for.
+	Views map[string]View
+	// Assertions is the number of consistency assertions generated.
+	Assertions int
+}
+
+// View records the meaning of one view predicate: Name(x̄) ≡ Rel(Pattern).
+type View struct {
+	Rel     string
+	Pattern []logic.Var
+}
+
+// ReduceArity applies Lemma 3.6 to a prenex ESO formula: second-order
+// quantifiers whose arity exceeds the formula's variable width are replaced
+// by width-ary view predicates plus consistency assertions. Quantified
+// relations already within the width are left untouched. The result is
+// equivalent to the input on every database.
+func ReduceArity(f logic.Formula) (*Reduced, error) {
+	return reduceArity(f, true)
+}
+
+// reduceArity optionally omits the consistency assertions — only for the
+// ablation tests and benchmarks that demonstrate the assertions are what
+// makes the reduction sound (without them the views can disagree on
+// overlapping cells, changing answers).
+func reduceArity(f logic.Formula, withAssertions bool) (*Reduced, error) {
+	var rels []logic.RelVar
+	matrix := f
+	for {
+		so, ok := matrix.(logic.SOQuant)
+		if !ok {
+			break
+		}
+		rels = append(rels, logic.RelVar{Name: so.Rel, Arity: so.Arity})
+		matrix = so.F
+	}
+	if logic.Classify(matrix) != logic.FragFO {
+		return nil, fmt.Errorf("eso: matrix is not first-order (prenex ESO required)")
+	}
+	vars := logic.SortedVars(logic.AllVars(f))
+	k := len(vars)
+
+	out := &Reduced{Views: make(map[string]View)}
+	var newRels []logic.RelVar
+	var assertions []logic.Formula
+	reduced := matrix
+
+	for _, rv := range rels {
+		if rv.Arity <= k {
+			newRels = append(newRels, rv)
+			continue
+		}
+		// Collect the distinct atom patterns of this relation in the matrix.
+		patterns := collectPatterns(matrix, rv.Name)
+		if len(patterns) == 0 {
+			// Unused: the quantifier is vacuous; drop it.
+			continue
+		}
+		names := make(map[string]string, len(patterns))
+		for i, pat := range patterns {
+			names[fmt.Sprint(pat)] = fmt.Sprintf("%s_v%d", rv.Name, i)
+		}
+		viewName := func(pat []logic.Var) string { return names[fmt.Sprint(pat)] }
+		// Introduce one k-ary view per pattern and rewrite every atom of
+		// this relation to its pattern's view applied to the canonical
+		// variable tuple.
+		for _, pat := range patterns {
+			name := viewName(pat)
+			if _, dup := out.Views[name]; dup {
+				continue
+			}
+			out.Views[name] = View{Rel: rv.Name, Pattern: pat}
+			newRels = append(newRels, logic.RelVar{Name: name, Arity: k})
+		}
+		reduced = rewriteAtoms(reduced, rv.Name, func(args []logic.Var) logic.Formula {
+			return logic.Atom{Rel: viewName(args), Args: vars}
+		})
+		if !withAssertions {
+			continue
+		}
+		// Consistency: for patterns u, w and substitutions σ, τ over the k
+		// variables with u∘σ = w∘τ, assert ∀x̄ (S⟨u⟩(σ) ↔ S⟨w⟩(τ)).
+		for i, u := range patterns {
+			for j := i; j < len(patterns); j++ {
+				w := patterns[j]
+				forEachSubstPair(vars, func(sigma, tau []logic.Var) {
+					if !composedEqual(u, sigma, w, tau, vars) {
+						return
+					}
+					left := logic.Atom{Rel: viewName(u), Args: sigma}
+					right := logic.Atom{Rel: viewName(w), Args: tau}
+					if left.String() == right.String() {
+						return // trivial
+					}
+					assertions = append(assertions, logic.Forall(logic.Iff(left, right), vars...))
+				})
+			}
+		}
+	}
+	out.Assertions = len(assertions)
+
+	body := reduced
+	if len(assertions) > 0 {
+		body = logic.And(append(assertions, reduced)...)
+	}
+	out.Formula = logic.SOExists(body, newRels...)
+	return out, nil
+}
+
+// DecodeWitness inverts the view encoding: given a satisfying assignment of
+// the *reduced* formula's quantified relations (as returned by Holds), it
+// reconstructs witnesses for the *original* relations. A cell of an
+// original relation is true iff some view covering it is true; with the
+// consistency assertions satisfied, all covering views agree, and the
+// function reports an error if they do not (which would indicate a witness
+// not actually satisfying the assertions). Cells not covered by any view —
+// tuples whose equality pattern matches no atom of the formula — default to
+// false; the matrix never inspects them, so any completion satisfies it.
+func (r *Reduced) DecodeWitness(w Witness, vars []logic.Var, origArity map[string]int, domain int) (Witness, error) {
+	out := make(Witness)
+	// Views for relations that were reduced.
+	type cellVal struct {
+		val  bool
+		seen bool
+	}
+	cells := make(map[string]map[string]cellVal) // rel → tuple key → value
+	pos := make(map[logic.Var]int, len(vars))
+	for i, v := range vars {
+		pos[v] = i
+	}
+	for name, view := range r.Views {
+		viewRel, ok := w[name]
+		if !ok {
+			// The view never surfaced in the grounding (e.g. it occurs only
+			// under a vacuous quantifier); treat as all-false.
+			viewRel = relation.NewSet(len(vars))
+		}
+		arity, ok := origArity[view.Rel]
+		if !ok {
+			return nil, fmt.Errorf("eso: no declared arity for original relation %s", view.Rel)
+		}
+		if cells[view.Rel] == nil {
+			cells[view.Rel] = make(map[string]cellVal)
+		}
+		// Enumerate all assignments to the k variables and read the view.
+		assign := make([]int, len(vars))
+		var rec func(i int) error
+		rec = func(i int) error {
+			if i == len(vars) {
+				cell := make(relation.Tuple, arity)
+				for j, pv := range view.Pattern {
+					cell[j] = assign[pos[pv]]
+				}
+				val := viewRel.Contains(assign)
+				key := cell.String()
+				if prev, seen := cells[view.Rel][key]; seen && prev.val != val {
+					return fmt.Errorf("eso: views disagree on %s%s", view.Rel, cell)
+				}
+				cells[view.Rel][key] = cellVal{val: val, seen: true}
+				if val {
+					if out[view.Rel] == nil {
+						out[view.Rel] = relation.NewSet(arity)
+					}
+					out[view.Rel].Add(cell)
+				}
+				return nil
+			}
+			for v := 0; v < domain; v++ {
+				assign[i] = v
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return nil, err
+		}
+		if out[view.Rel] == nil {
+			out[view.Rel] = relation.NewSet(arity)
+		}
+	}
+	// Relations that were not reduced pass through.
+	for name, rel := range w {
+		if _, isView := r.Views[name]; !isView {
+			out[name] = rel
+		}
+	}
+	return out, nil
+}
+
+// collectPatterns returns the distinct argument patterns of rel's atoms in
+// f, in first-occurrence order.
+func collectPatterns(f logic.Formula, rel string) [][]logic.Var {
+	var out [][]logic.Var
+	seen := make(map[string]bool)
+	logic.Walk(f, func(g logic.Formula) {
+		a, ok := g.(logic.Atom)
+		if !ok || a.Rel != rel {
+			return
+		}
+		key := fmt.Sprint(a.Args)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, append([]logic.Var(nil), a.Args...))
+		}
+	})
+	return out
+}
+
+// rewriteAtoms replaces every atom of rel in f by repl(args).
+func rewriteAtoms(f logic.Formula, rel string, repl func([]logic.Var) logic.Formula) logic.Formula {
+	switch g := f.(type) {
+	case logic.Atom:
+		if g.Rel == rel {
+			return repl(g.Args)
+		}
+		return g
+	case logic.Eq, logic.Truth:
+		return g
+	case logic.Not:
+		return logic.Not{F: rewriteAtoms(g.F, rel, repl)}
+	case logic.Binary:
+		return logic.Binary{Op: g.Op, L: rewriteAtoms(g.L, rel, repl), R: rewriteAtoms(g.R, rel, repl)}
+	case logic.Quant:
+		return logic.Quant{Kind: g.Kind, V: g.V, F: rewriteAtoms(g.F, rel, repl)}
+	case logic.Fix:
+		if g.Rel == rel {
+			return g
+		}
+		return logic.Fix{Op: g.Op, Rel: g.Rel, Vars: g.Vars, Body: rewriteAtoms(g.Body, rel, repl), Args: g.Args}
+	case logic.SOQuant:
+		if g.Rel == rel {
+			return g
+		}
+		return logic.SOQuant{Rel: g.Rel, Arity: g.Arity, F: rewriteAtoms(g.F, rel, repl)}
+	default:
+		panic(fmt.Sprintf("eso: unknown formula %T", f))
+	}
+}
+
+// forEachSubstPair enumerates pairs (σ, τ) of substitutions vars→vars.
+func forEachSubstPair(vars []logic.Var, fn func(sigma, tau []logic.Var)) {
+	subs := allSubstitutions(vars)
+	for _, s := range subs {
+		for _, t := range subs {
+			fn(s, t)
+		}
+	}
+}
+
+// allSubstitutions enumerates the |vars|^|vars| maps from the variable list
+// into itself, each represented as the image tuple.
+func allSubstitutions(vars []logic.Var) [][]logic.Var {
+	k := len(vars)
+	var out [][]logic.Var
+	cur := make([]logic.Var, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			out = append(out, append([]logic.Var(nil), cur...))
+			return
+		}
+		for _, v := range vars {
+			cur[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// composedEqual reports whether u∘σ = w∘τ as variable sequences, where σ
+// and τ are given by their image tuples over vars.
+func composedEqual(u, sigma, w, tau []logic.Var, vars []logic.Var) bool {
+	if len(u) != len(w) {
+		return false
+	}
+	pos := make(map[logic.Var]int, len(vars))
+	for i, v := range vars {
+		pos[v] = i
+	}
+	for j := range u {
+		if sigma[pos[u[j]]] != tau[pos[w[j]]] {
+			return false
+		}
+	}
+	return true
+}

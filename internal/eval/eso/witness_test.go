@@ -1,0 +1,102 @@
+package eso
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// TestDecodeWitnessSatisfiesOriginalMatrix: solve the reduced formula, map
+// the view witness back to the original high-arity relation, inject it as a
+// database relation, and check the *original* matrix with the trusted naive
+// evaluator.
+func TestDecodeWitnessSatisfiesOriginalMatrix(t *testing.T) {
+	matrix := logic.And(
+		logic.Exists(logic.R("S", "x", "x", "y"), "x", "y"),
+		logic.Forall(logic.Implies(logic.R("S", "x", "y", "x"), logic.R("E", "x", "y")), "x", "y"),
+		logic.Forall(logic.Implies(logic.R("S", "x", "y", "y"), logic.R("E", "x", "y")), "x", "y"))
+	f := logic.SOExists(matrix, logic.RelVar{Name: "S", Arity: 3})
+	vars := logic.SortedVars(logic.AllVars(f))
+
+	r := rand.New(rand.NewSource(271))
+	decodedAny := false
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + r.Intn(2)
+		var edges [][2]int
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					edges = append(edges, [2]int{i, j})
+				}
+			}
+		}
+		db := graphDB(t, n, edges)
+		red, err := ReduceArity(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		holds, w, _, err := Holds(f, db, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !holds {
+			continue
+		}
+		decodedAny = true
+		orig, err := red.DecodeWitness(w, vars, map[string]int{"S": 3}, db.Size())
+		if err != nil {
+			t.Fatalf("DecodeWitness: %v", err)
+		}
+		s, ok := orig["S"]
+		if !ok {
+			t.Fatalf("decoded witness lacks S: %v", orig)
+		}
+		if s.Arity() != 3 {
+			t.Fatalf("decoded S has arity %d", s.Arity())
+		}
+		// Build db + S and check the original matrix naively.
+		b := database.NewBuilder().Relation("E", 2).Relation("S", 3)
+		for i := 0; i < n; i++ {
+			b.Domain(i)
+		}
+		e, _ := db.Rel("E")
+		e.ForEach(func(tp relation.Tuple) { b.Add("E", tp[0], tp[1]) })
+		s.ForEach(func(tp relation.Tuple) { b.Add("S", tp[0], tp[1], tp[2]) })
+		ext := b.MustBuild()
+		ok2, err := eval.NaiveHolds(matrix, ext)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok2 {
+			t.Fatalf("decoded witness S=%v does not satisfy the original matrix on\n%s", s, db)
+		}
+	}
+	if !decodedAny {
+		t.Fatal("no satisfiable instance hit; adjust the generator")
+	}
+}
+
+func TestDecodeWitnessPassesThroughLowArity(t *testing.T) {
+	f := twoColorable()
+	red, err := ReduceArity(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := graphDB(t, 4, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	holds, w, _, err := Holds(f, db, nil)
+	if err != nil || !holds {
+		t.Fatalf("holds=%v err=%v", holds, err)
+	}
+	vars := logic.SortedVars(logic.AllVars(f))
+	orig, err := red.DecodeWitness(w, vars, map[string]int{"C": 1}, db.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !orig["C"].Equal(w["C"]) {
+		t.Fatal("unreduced relation should pass through unchanged")
+	}
+}

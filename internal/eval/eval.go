@@ -1,0 +1,152 @@
+// Package eval implements the query evaluators of Vardi (PODS 1995):
+//
+//   - BottomUp — the Proposition 3.1 algorithm: every subformula of a width-k
+//     query denotes one k-ary dense relation over the full variable tuple, so
+//     evaluation is a sequence of nᵏ-bit set operations. This realizes the
+//     paper's PTIME combined-complexity upper bound for FOᵏ, and extends to
+//     FPᵏ (fixpoint iteration with bounded-arity recursion relations) and
+//     PFPᵏ (Theorem 3.8, with cycle detection for divergence).
+//
+//   - Naive — the generic environment-recursion algorithm: the textbook
+//     PSPACE procedure whose running time is exponential in quantifier
+//     nesting. It is the paper's "unbounded" baseline and, being obviously
+//     correct, the oracle for every cross-validation test in this repository.
+//     It also evaluates ESO by enumerating the quantified relations (the
+//     exponential guess of §3.3), guarded by a size cap.
+//
+//   - Algebra — classical relational-algebra evaluation where each
+//     subformula is computed over exactly its free variables. Its
+//     intermediate arity equals the subformula's free-variable count, which
+//     is what blows up on unbounded-width queries (§1's motivating example).
+//
+// The Theorem 3.5 certificate machinery (NP∩co-NP for FPᵏ) is in
+// certificate.go of this package.
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// ErrBudget is wrapped by errors reporting that an evaluation exceeded its
+// configured iteration budget (only possible for PFP, whose runs may be
+// exponentially long).
+var ErrBudget = errors.New("iteration budget exceeded")
+
+// CycleMode selects how the PFP evaluator detects non-convergence.
+type CycleMode int
+
+const (
+	// CycleHash remembers a hash of every stage and stops at the first
+	// repetition. Fast, but keeps O(#stages) state.
+	CycleHash CycleMode = iota
+	// CycleBrent uses Brent's cycle-finding algorithm: a constant number of
+	// live relations regardless of run length — the PSPACE discipline of
+	// Theorem 3.8 made literal.
+	CycleBrent
+)
+
+// Options configures evaluation.
+type Options struct {
+	// MaxWidth caps the query width (0 means no cap beyond the dense-space
+	// size limit). Callers enforcing a specific Lᵏ set this to k.
+	MaxWidth int
+	// PFPBudget caps the number of stages a single PFP computation may take
+	// before evaluation fails with ErrBudget. 0 means DefaultPFPBudget.
+	PFPBudget int
+	// PFPCycle selects the convergence detector.
+	PFPCycle CycleMode
+}
+
+// DefaultPFPBudget bounds PFP stage counts when Options.PFPBudget is zero.
+const DefaultPFPBudget = 1 << 20
+
+// Stats reports work done by an evaluation.
+type Stats struct {
+	// SubformulaEvals counts dense-relation constructions (one per
+	// subformula visit, including re-visits inside fixpoint iterations).
+	SubformulaEvals int
+	// FixIterations counts fixpoint stages across all fixpoint operators.
+	FixIterations int
+	// MaxIntermediateArity is the largest arity of any intermediate
+	// relation (always the query width for BottomUp; per-subformula for
+	// Algebra).
+	MaxIntermediateArity int
+	// MaxIntermediateTuples is the largest tuple count of any intermediate
+	// relation.
+	MaxIntermediateTuples int
+}
+
+func (s *Stats) observe(arity, tuples int) {
+	if s == nil {
+		return
+	}
+	if arity > s.MaxIntermediateArity {
+		s.MaxIntermediateArity = arity
+	}
+	if tuples > s.MaxIntermediateTuples {
+		s.MaxIntermediateTuples = tuples
+	}
+}
+
+// boundRel is an interpreted relation symbol: a database relation
+// (params nil) or a recursion relation extended with its parameter
+// variables (the free individual variables of the fixpoint body).
+type boundRel struct {
+	set    *relation.Set
+	params []logic.Var
+}
+
+// env maps bound relation symbols to their current values, with scoping.
+type env struct {
+	rels map[string]boundRel
+}
+
+func newEnv() *env { return &env{rels: make(map[string]boundRel)} }
+
+func (e *env) bind(name string, r boundRel) (restore func()) {
+	prev, had := e.rels[name]
+	e.rels[name] = r
+	return func() {
+		if had {
+			e.rels[name] = prev
+		} else {
+			delete(e.rels, name)
+		}
+	}
+}
+
+// signatureOf extracts the database's relation signature for validation.
+func signatureOf(db *database.Database) logic.Signature {
+	sig := make(logic.Signature)
+	for _, name := range db.Names() {
+		a, _ := db.Arity(name)
+		sig[name] = a
+	}
+	return sig
+}
+
+// checkWidth enforces the Lᵏ membership restriction from Options.
+func checkWidth(q logic.Query, opts *Options) error {
+	if opts != nil && opts.MaxWidth > 0 {
+		if w := q.Width(); w > opts.MaxWidth {
+			return fmt.Errorf("eval: query width %d exceeds bound k=%d", w, opts.MaxWidth)
+		}
+	}
+	return nil
+}
+
+// checkDomain rejects empty structures. First-order semantics over an empty
+// domain is degenerate (every existential is false, every universal true,
+// and there are no variable assignments at all), and the paper's databases
+// are nonempty; all evaluators refuse uniformly rather than disagree.
+func checkDomain(db *database.Database) error {
+	if db.Size() == 0 {
+		return fmt.Errorf("eval: empty domain")
+	}
+	return nil
+}

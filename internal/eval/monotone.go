@@ -1,0 +1,192 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Monotone evaluates a (dependently) alternation-free FP query with
+// fixpoint memoization: when a fixpoint node is re-evaluated (because an
+// enclosing fixpoint iterated), it warm-starts from its previous value
+// instead of restarting from ∅ (lfp) or Dᵏ (gfp). Within a same-polarity
+// nest the environment moves in one direction only — upward for lfp-only
+// formulas, downward for gfp-only formulas — so the restart is sound and
+// every node advances at most nᵏ times in total: l·nᵏ iterations instead of
+// n^{kl} (the footnote-5 observation of the paper). Opposite-polarity
+// subformulas are fine as long as they are *closed* (they do not mention the
+// enclosing recursion relation): their environment never changes, so the
+// memo just replays their value. Admission is therefore by
+// logic.DependentAlternationDepth ≤ 1 — the Emerson–Lei notion, under which
+// all of CTL is alternation-free.
+//
+// Queries whose NNF truly alternates µ and ν are rejected; they need the
+// nondeterministic machinery of Theorem 3.5 (FindCertificate /
+// VerifyCertificate) or the naive BottomUp evaluator.
+func Monotone(q logic.Query, db *database.Database) (*relation.Set, error) {
+	ans, _, err := MonotoneStats(q, db)
+	return ans, err
+}
+
+// MonotoneStats is Monotone with work statistics.
+func MonotoneStats(q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
+	if err := q.Validate(signatureOf(db)); err != nil {
+		return nil, nil, err
+	}
+	if err := checkDomain(db); err != nil {
+		return nil, nil, err
+	}
+	body, err := logic.NNF(q.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fr := logic.Classify(body); fr != logic.FragFO && fr != logic.FragFP && fr != logic.FragIFP {
+		return nil, nil, fmt.Errorf("eval: Monotone evaluates FP/IFP only, got %v", fr)
+	}
+	if err := logic.Validate(body, nil); err != nil {
+		return nil, nil, err
+	}
+	if d := logic.DependentAlternationDepth(body); d > 1 {
+		return nil, nil, fmt.Errorf("eval: Monotone requires a (dependently) alternation-free formula, alternation depth is %d", d)
+	}
+	vars := q.Vars()
+	sp, err := relation.NewSpace(len(vars), db.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &monoCtx{db: db, sp: sp, axes: make(map[logic.Var]int, len(vars)), env: newEnv(), stats: &Stats{}, memo: make(map[string]*relation.Set)}
+	for i, v := range vars {
+		c.axes[v] = i
+	}
+	d, err := c.eval(body, "r")
+	if err != nil {
+		return nil, nil, err
+	}
+	head := make([]int, len(q.Head))
+	for i, v := range q.Head {
+		head[i] = c.axes[v]
+	}
+	return d.Project(head), c.stats, nil
+}
+
+type monoCtx struct {
+	db    *database.Database
+	sp    *relation.Space
+	axes  map[logic.Var]int
+	env   *env
+	stats *Stats
+	memo  map[string]*relation.Set
+}
+
+func (c *monoCtx) axesOf(vs []logic.Var) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = c.axes[v]
+	}
+	return out
+}
+
+func (c *monoCtx) eval(f logic.Formula, path string) (*relation.Dense, error) {
+	c.stats.SubformulaEvals++
+	switch g := f.(type) {
+	case logic.Atom:
+		if br, ok := c.env.rels[g.Rel]; ok {
+			return c.sp.FromAtom(br.set, append(c.axesOf(g.Args), c.axesOf(br.params)...))
+		}
+		rel, err := c.db.Rel(g.Rel)
+		if err != nil {
+			return nil, err
+		}
+		return c.sp.FromAtom(rel, c.axesOf(g.Args))
+	case logic.Eq:
+		return c.sp.Diagonal(c.axes[g.L], c.axes[g.R]), nil
+	case logic.Truth:
+		if g.Value {
+			return c.sp.Full(), nil
+		}
+		return c.sp.Empty(), nil
+	case logic.Not:
+		d, err := c.eval(g.F, path+".n")
+		if err != nil {
+			return nil, err
+		}
+		d.Complement()
+		return d, nil
+	case logic.Binary:
+		l, err := c.eval(g.L, path+".l")
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.eval(g.R, path+".r")
+		if err != nil {
+			return nil, err
+		}
+		switch g.Op {
+		case logic.AndOp:
+			l.IntersectWith(r)
+		case logic.OrOp:
+			l.UnionWith(r)
+		default:
+			return nil, fmt.Errorf("eval: %v connective survived NNF", g.Op)
+		}
+		return l, nil
+	case logic.Quant:
+		d, err := c.eval(g.F, path+".q")
+		if err != nil {
+			return nil, err
+		}
+		if g.Kind == logic.ExistsQ {
+			return d.ExistsAxis(c.axes[g.V]), nil
+		}
+		return d.ForallAxis(c.axes[g.V]), nil
+	case logic.Fix:
+		return c.evalFix(g, path)
+	default:
+		return nil, fmt.Errorf("eval: Monotone does not support %T", f)
+	}
+}
+
+func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
+	if g.Op != logic.LFP && g.Op != logic.GFP && g.Op != logic.IFP {
+		return nil, fmt.Errorf("eval: Monotone does not support %s", g.Op)
+	}
+	params := fixParams(g)
+	ext := len(g.Vars) + len(params)
+	extCols := append(c.axesOf(g.Vars), c.axesOf(params)...)
+	cur := c.memo[path]
+	if cur == nil {
+		if g.Op == logic.GFP {
+			cur = (&buCtx{db: c.db, sp: c.sp}).fullSet(ext)
+		} else {
+			cur = relation.NewSet(ext)
+		}
+	}
+	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
+	defer restore()
+	for {
+		c.stats.FixIterations++
+		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
+		body, err := c.eval(g.Body, path+".b")
+		if err != nil {
+			return nil, err
+		}
+		next := body.Project(extCols)
+		if g.Op == logic.GFP {
+			next = next.Intersect(cur) // keep the chain decreasing
+		} else {
+			// LFP: keep the Lemma 3.4 chain increasing. IFP: inflationary
+			// by definition. (A lone IFP is safe here — the alternation
+			// check rejects IFP nested in or around other fixpoints, so it
+			// is never re-evaluated and the memo is never reused.)
+			next = next.Union(cur)
+		}
+		if next.Equal(cur) {
+			break
+		}
+		cur = next
+	}
+	c.memo[path] = cur
+	return c.sp.FromAtom(cur, append(c.axesOf(g.Args), c.axesOf(params)...))
+}

@@ -1,0 +1,170 @@
+// Package grammar implements parenthesis grammars and the Lemma 4.2
+// construction of Vardi (PODS 1995): for a fixed database B there are only
+// finitely many k-ary relations, so an FOᵏ query is an algebraic expression
+// over a finite algebra, and the set { (φ@r) | φ evaluates to r in B } is a
+// parenthesis language — recognizable in LOGSPACE (Lynch 1977) and in fact
+// in ALOGTIME (Buss 1987). This pins the expression complexity of FOᵏ far
+// below its PTIME-complete combined complexity.
+//
+// The package provides:
+//
+//   - general parenthesis grammars and their recognition (a bottom-up pass
+//     over the bracket tree — the deterministic realization of Lynch's
+//     algorithm);
+//   - the G(B) construction: enumerate the finite algebra of k-ary
+//     relations over B and emit one production per algebra operation;
+//   - compilation of FOᵏ formulas to parenthesis words, and a one-pass
+//     stack evaluator for those words over an arbitrary database (linear in
+//     the expression length once B is fixed).
+package grammar
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Sym is a grammar symbol: a terminal token or a nonterminal reference.
+type Sym struct {
+	NT bool
+	S  string
+}
+
+// T builds a terminal symbol, N a nonterminal one.
+func T(s string) Sym { return Sym{S: s} }
+
+// N builds a nonterminal symbol.
+func N(s string) Sym { return Sym{NT: true, S: s} }
+
+// Production is A → ( RHS ): parenthesis grammars wrap every right-hand
+// side in the distinguished brackets, and the RHS itself is
+// parenthesis-free.
+type Production struct {
+	Lhs string
+	Rhs []Sym
+}
+
+// Grammar is a parenthesis grammar.
+type Grammar struct {
+	Start string
+	Prods []Production
+	// byLen indexes productions by RHS length for the recognizer.
+	byLen map[int][]int
+}
+
+// New returns a grammar with the given start symbol.
+func New(start string) *Grammar {
+	return &Grammar{Start: start, byLen: make(map[int][]int)}
+}
+
+// Add appends a production A → ( rhs ). The RHS must be parenthesis-free.
+func (g *Grammar) Add(lhs string, rhs ...Sym) error {
+	if lhs == "" {
+		return fmt.Errorf("grammar: empty nonterminal")
+	}
+	for _, s := range rhs {
+		if !s.NT && (s.S == "(" || s.S == ")") {
+			return fmt.Errorf("grammar: parenthesis inside a production body")
+		}
+	}
+	g.byLen[len(rhs)] = append(g.byLen[len(rhs)], len(g.Prods))
+	g.Prods = append(g.Prods, Production{Lhs: lhs, Rhs: rhs})
+	return nil
+}
+
+// MustAdd is Add that panics on error.
+func (g *Grammar) MustAdd(lhs string, rhs ...Sym) {
+	if err := g.Add(lhs, rhs...); err != nil {
+		panic(err)
+	}
+}
+
+// Size returns the number of productions.
+func (g *Grammar) Size() int { return len(g.Prods) }
+
+// item is a node of the bracket tree: either a terminal token or a balanced
+// segment with its set of deriving nonterminals.
+type item struct {
+	terminal string
+	labels   map[string]bool // nil for terminals
+}
+
+// Labels returns the set of nonterminals deriving the word, which must be a
+// single balanced segment "( … )". The recognizer walks the bracket tree
+// bottom-up, labeling every balanced segment — per-node work is linear in
+// the productions of matching length, so the whole pass is
+// O(|word| · |productions|).
+func (g *Grammar) Labels(word []string) (map[string]bool, error) {
+	if len(word) == 0 {
+		return nil, fmt.Errorf("grammar: empty word")
+	}
+	var stack [][]item
+	cur := []item{}
+	depth := 0
+	for i, tok := range word {
+		switch tok {
+		case "(":
+			stack = append(stack, cur)
+			cur = []item{}
+			depth++
+		case ")":
+			if depth == 0 {
+				return nil, fmt.Errorf("grammar: unbalanced ')' at token %d", i)
+			}
+			labels := g.reduce(cur)
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cur = append(cur, item{labels: labels})
+			depth--
+		default:
+			if depth == 0 {
+				return nil, fmt.Errorf("grammar: token %q outside brackets", tok)
+			}
+			cur = append(cur, item{terminal: tok})
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("grammar: unbalanced '('")
+	}
+	if len(cur) != 1 || cur[0].labels == nil {
+		return nil, fmt.Errorf("grammar: word is not a single balanced segment")
+	}
+	return cur[0].labels, nil
+}
+
+// reduce computes the nonterminals deriving "( items )".
+func (g *Grammar) reduce(items []item) map[string]bool {
+	out := make(map[string]bool)
+	for _, pi := range g.byLen[len(items)] {
+		p := g.Prods[pi]
+		ok := true
+		for i, s := range p.Rhs {
+			if s.NT {
+				if items[i].labels == nil || !items[i].labels[s.S] {
+					ok = false
+					break
+				}
+			} else {
+				if items[i].labels != nil || items[i].terminal != s.S {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out[p.Lhs] = true
+		}
+	}
+	return out
+}
+
+// Recognize reports whether the word is derivable from the start symbol.
+func (g *Grammar) Recognize(word []string) (bool, error) {
+	labels, err := g.Labels(word)
+	if err != nil {
+		return false, err
+	}
+	return labels[g.Start], nil
+}
+
+// WordString renders a word for debugging.
+func WordString(word []string) string { return strings.Join(word, " ") }

@@ -1,0 +1,133 @@
+package grammar
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/relation"
+)
+
+// wordNode is one balanced segment of a compiled word; children are tokens
+// or sub-segments.
+type wordNode struct {
+	items []wordItem
+	size  int // total items in this subtree, for spawn decisions
+}
+
+type wordItem struct {
+	tok string
+	sub *wordNode
+}
+
+// minParallelSize is the smallest subtree worth a goroutine: below it the
+// spawn overhead dwarfs the work.
+const minParallelSize = 32
+
+// parseWordTree builds the bracket tree of a word.
+func parseWordTree(word []string) (*wordNode, error) {
+	var stack []*wordNode
+	cur := &wordNode{}
+	depth := 0
+	for i, tok := range word {
+		switch tok {
+		case "(":
+			stack = append(stack, cur)
+			cur = &wordNode{}
+			depth++
+		case ")":
+			if depth == 0 {
+				return nil, fmt.Errorf("grammar: unbalanced ')' at token %d", i)
+			}
+			done := cur
+			cur = stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			cur.items = append(cur.items, wordItem{sub: done})
+			cur.size += done.size + 1
+			depth--
+		default:
+			if depth == 0 {
+				return nil, fmt.Errorf("grammar: token %q outside brackets", tok)
+			}
+			cur.items = append(cur.items, wordItem{tok: tok})
+			cur.size++
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("grammar: unbalanced '('")
+	}
+	if len(cur.items) != 1 || cur.items[0].sub == nil {
+		return nil, fmt.Errorf("grammar: word is not a single expression")
+	}
+	return cur.items[0].sub, nil
+}
+
+// EvalParallel evaluates a compiled word by divide-and-conquer over its
+// bracket tree, evaluating independent sub-expressions concurrently. It is
+// the executable shadow of the ALOGTIME bound (Cor. 4.3 via Buss 1987):
+// the bracket tree of an expression can be evaluated in parallel along its
+// structure, since sibling subtrees are independent. The result is
+// identical to Eval.
+func (e *WordEvaluator) EvalParallel(word []string) (*relation.Dense, error) {
+	tree, err := parseWordTree(word)
+	if err != nil {
+		return nil, err
+	}
+	// A counting semaphore bounds goroutines at the CPU count; when no slot
+	// is free the child is evaluated inline, so progress never blocks.
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	return e.evalNodeParallel(tree, sem)
+}
+
+func (e *WordEvaluator) evalNodeParallel(n *wordNode, sem chan struct{}) (*relation.Dense, error) {
+	frame := make([]frameItem, len(n.items))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	setErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for i, it := range n.items {
+		if it.sub == nil {
+			frame[i] = frameItem{tok: it.tok}
+			continue
+		}
+		if it.sub.size < minParallelSize {
+			v, err := e.evalNodeParallel(it.sub, sem)
+			if err != nil {
+				return nil, err
+			}
+			frame[i] = frameItem{val: v}
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, sub *wordNode) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				v, err := e.evalNodeParallel(sub, sem)
+				if err != nil {
+					setErr(err)
+					return
+				}
+				frame[i] = frameItem{val: v}
+			}(i, it.sub)
+		default:
+			v, err := e.evalNodeParallel(it.sub, sem)
+			if err != nil {
+				return nil, err
+			}
+			frame[i] = frameItem{val: v}
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return e.reduceFrame(frame)
+}

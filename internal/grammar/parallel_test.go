@@ -1,0 +1,127 @@
+package grammar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestEvalParallelMatchesSerial(t *testing.T) {
+	db := fixedDB(t)
+	ev, err := NewWordEvaluator(db, []logic.Var{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		f := randFO2(r, 5)
+		word, err := Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial, err := ev.Eval(word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := ev.EvalParallel(word)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !serial.Equal(parallel) {
+			t.Fatalf("parallel differs for %s", f)
+		}
+	}
+}
+
+func TestEvalParallelErrors(t *testing.T) {
+	db := fixedDB(t)
+	ev, err := NewWordEvaluator(db, []logic.Var{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]string{
+		{"("},
+		{")"},
+		{"(", "nosuch", ")"},
+		{"(", "(", "true", ")", "(", "true", ")", ")"},
+		{"true"},
+	}
+	for _, w := range bad {
+		if _, err := ev.EvalParallel(w); err == nil {
+			t.Errorf("EvalParallel(%v) succeeded", w)
+		}
+	}
+}
+
+// wideWord builds a balanced, fan-out-heavy word: a big disjunction of
+// conjunctions, to give the parallel evaluator independent siblings.
+func wideWord(t testing.TB, breadth, depth int) []string {
+	t.Helper()
+	var build func(d int) logic.Formula
+	build = func(d int) logic.Formula {
+		if d == 0 {
+			return logic.R("P", "x")
+		}
+		return logic.Or(logic.And(build(d-1), build(d-1)), logic.R("E", "x", "y"))
+	}
+	f := build(depth)
+	for i := 1; i < breadth; i++ {
+		f = logic.Or(f, build(depth))
+	}
+	word, err := Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return word
+}
+
+func TestEvalParallelDeepWide(t *testing.T) {
+	db := fixedDB(t)
+	ev, err := NewWordEvaluator(db, []logic.Var{"x", "y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	word := wideWord(t, 8, 6)
+	serial, err := ev.Eval(word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ev.EvalParallel(word)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(parallel) {
+		t.Fatal("parallel differs on deep-wide word")
+	}
+}
+
+func BenchmarkEvalSerial(b *testing.B) {
+	db := fixedDB(b)
+	ev, err := NewWordEvaluator(db, []logic.Var{"x", "y"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	word := wideWord(b, 16, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(word); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalParallel(b *testing.B) {
+	db := fixedDB(b)
+	ev, err := NewWordEvaluator(db, []logic.Var{"x", "y"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	word := wideWord(b, 16, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.EvalParallel(word); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

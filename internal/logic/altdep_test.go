@@ -1,0 +1,58 @@
+package logic
+
+import "testing"
+
+func TestDependentAlternationDepth(t *testing.T) {
+	atom := R("P", "x")
+	mu := func(rel string, body Formula) Fix {
+		return Lfp(rel, []Var{"x"}, Or(atom, body), "x")
+	}
+	nu := func(rel string, body Formula) Fix {
+		return Gfp(rel, []Var{"x"}, And(atom, body), "x")
+	}
+	ref := func(rel string) Formula { return R(rel, "x") }
+
+	cases := []struct {
+		name string
+		f    Formula
+		want int
+	}{
+		{"no fixpoints", atom, 0},
+		{"single mu", mu("S", ref("S")), 1},
+		{"mu in mu, dependent", mu("S", Fix(mu("T", And(ref("T"), ref("S"))))), 1},
+		{"nu in mu, closed", mu("S", Fix(nu("T", ref("T")))), 1},
+		{"nu in mu, dependent", mu("S", Fix(nu("T", And(ref("T"), ref("S"))))), 2},
+		{"deep closed tower", mu("A", Fix(nu("B", Fix(mu("C", Fix(nu("D", ref("D")))))))), 1},
+		{"dependency skips a level",
+			// µA. νB.(µC uses A): the νB is dependent on A? A free inside B's body.
+			mu("A", Fix(nu("B", Fix(mu("C", And(ref("C"), ref("A"))))))), 2},
+		{"ifp counts as opposite when dependent",
+			mu("S", Ifp("T", []Var{"x"}, And(R("T", "x"), ref("S")), "x")), 2},
+		{"ifp closed", mu("S", Ifp("T", []Var{"x"}, R("T", "x"), "x")), 1},
+		{"pfp dependent",
+			Pfp("W", []Var{"x"}, Fix(mu("S", And(ref("S"), R("W", "x")))), "x"), 2},
+		{"shadowing breaks dependency",
+			// µS. νS'.(…S'…) where the inner rebinds the *same* name S:
+			// occurrences inside refer to the inner fixpoint.
+			Lfp("S", []Var{"x"}, Or(atom, Gfp("S", []Var{"x"}, And(atom, R("S", "x")), "x")), "x"), 1},
+	}
+	for _, c := range cases {
+		if got := DependentAlternationDepth(c.f); got != c.want {
+			t.Errorf("%s: DependentAlternationDepth = %d, want %d (%s)", c.name, got, c.want, c.f)
+		}
+	}
+}
+
+func TestDependentNeverExceedsSyntactic(t *testing.T) {
+	atom := R("P", "x")
+	fs := []Formula{
+		Lfp("S", []Var{"x"}, Or(atom, Gfp("T", []Var{"x"}, And(atom, R("S", "x"), R("T", "x")), "x")), "x"),
+		Gfp("A", []Var{"x"}, Lfp("B", []Var{"x"}, Or(R("A", "x"), R("B", "x")), "x"), "x"),
+		And(Lfp("S", []Var{"x"}, Or(atom, R("S", "x")), "x"), atom),
+	}
+	for _, f := range fs {
+		if DependentAlternationDepth(f) > AlternationDepth(f) {
+			t.Errorf("dependent depth exceeds syntactic for %s", f)
+		}
+	}
+}

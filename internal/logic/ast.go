@@ -1,0 +1,262 @@
+// Package logic defines the abstract syntax of the four query languages
+// studied in Vardi, "On the Complexity of Bounded-Variable Queries"
+// (PODS 1995) — first-order logic (FO), fixpoint logic (FP), existential
+// second-order logic (ESO) and partial-fixpoint logic (PFP) — together with
+// the static analyses the paper's algorithms rest on: free variables,
+// variable width (the Lᵏ membership test), positivity of recursion
+// relations, fixpoint alternation depth, fragment classification, and the
+// textual substitution used by the hardness reductions.
+//
+// A bounded-variable query is an ordinary query whose Width is at most k;
+// there is no separate syntax. This mirrors the paper: Lᵏ is L restricted to
+// the individual variables x₁,…,x_k.
+package logic
+
+// Var is an individual variable.
+type Var string
+
+// FixOp distinguishes the three fixpoint operators.
+type FixOp int
+
+const (
+	// LFP is the least-fixpoint operator µ.
+	LFP FixOp = iota
+	// GFP is the greatest-fixpoint operator ν.
+	GFP
+	// PFP is the partial-fixpoint operator.
+	PFP
+	// IFP is the inflationary-fixpoint operator: stages S_{i+1} = S_i ∪
+	// φ(S_i), which always converge within nᵏ steps and need no positivity
+	// requirement. FP and IFP have the same expressive power (Gurevich–
+	// Shelah 1986), but the paper notes (§3.2) that the Theorem 3.5
+	// technique does not apply to IFPᵏ — its best known combined-complexity
+	// bound is the PSPACE bound inherited from PFPᵏ.
+	IFP
+)
+
+func (op FixOp) String() string {
+	switch op {
+	case LFP:
+		return "lfp"
+	case GFP:
+		return "gfp"
+	case PFP:
+		return "pfp"
+	case IFP:
+		return "ifp"
+	}
+	return "fix?"
+}
+
+// Formula is a node of the abstract syntax tree. The concrete node types are
+// Atom, Eq, Truth, Not, Binary, Quant, Fix and SOQuant.
+type Formula interface {
+	isFormula()
+	// String renders the formula in the concrete syntax accepted by
+	// parser.ParseFormula.
+	String() string
+}
+
+// Atom is a relational atom R(u₁, …, u_m). The relation symbol may denote a
+// database relation, a fixpoint recursion relation, or a second-order
+// quantified relation, depending on what is in scope.
+type Atom struct {
+	Rel  string
+	Args []Var
+}
+
+// Eq is an equality atom u = v.
+type Eq struct {
+	L, R Var
+}
+
+// Truth is a propositional constant: true or false. (Used, e.g., by the
+// Path-Systems reduction of Proposition 3.2, which starts the formula family
+// from P(x) ≡ false.)
+type Truth struct {
+	Value bool
+}
+
+// Not is negation.
+type Not struct {
+	F Formula
+}
+
+// BinOp is a binary connective.
+type BinOp int
+
+const (
+	// AndOp is conjunction.
+	AndOp BinOp = iota
+	// OrOp is disjunction.
+	OrOp
+	// ImpliesOp is implication.
+	ImpliesOp
+	// IffOp is bi-implication.
+	IffOp
+)
+
+func (op BinOp) String() string {
+	switch op {
+	case AndOp:
+		return "&"
+	case OrOp:
+		return "|"
+	case ImpliesOp:
+		return "->"
+	case IffOp:
+		return "<->"
+	}
+	return "?"
+}
+
+// Binary is a binary connective application.
+type Binary struct {
+	Op   BinOp
+	L, R Formula
+}
+
+// QuantKind distinguishes ∃ from ∀.
+type QuantKind int
+
+const (
+	// ExistsQ is existential quantification.
+	ExistsQ QuantKind = iota
+	// ForallQ is universal quantification.
+	ForallQ
+)
+
+func (q QuantKind) String() string {
+	if q == ExistsQ {
+		return "exists"
+	}
+	return "forall"
+}
+
+// Quant is first-order quantification over one individual variable.
+type Quant struct {
+	Kind QuantKind
+	V    Var
+	F    Formula
+}
+
+// Fix is a fixpoint formula [op S(x̄). φ](ū): the recursion relation S of
+// arity |x̄| is defined by the body φ and the formula holds of the argument
+// tuple ū. For LFP and GFP, S must occur positively in φ; PFP has no such
+// requirement. The variables x̄ must be distinct; |ū| = |x̄|.
+type Fix struct {
+	Op   FixOp
+	Rel  string
+	Vars []Var
+	Body Formula
+	Args []Var
+}
+
+// SOQuant is second-order existential quantification ∃S φ over a relation
+// variable S of the given arity (ESO). Arity 0 relation variables are
+// propositions, as used by the Theorem 4.5 reduction from SAT.
+type SOQuant struct {
+	Rel   string
+	Arity int
+	F     Formula
+}
+
+func (Atom) isFormula()    {}
+func (Eq) isFormula()      {}
+func (Truth) isFormula()   {}
+func (Not) isFormula()     {}
+func (Binary) isFormula()  {}
+func (Quant) isFormula()   {}
+func (Fix) isFormula()     {}
+func (SOQuant) isFormula() {}
+
+// Constructor helpers. They keep programmatically built formulas (the
+// reductions construct large families) readable.
+
+// R builds an atom.
+func R(rel string, args ...Var) Atom { return Atom{Rel: rel, Args: args} }
+
+// Equal builds an equality atom.
+func Equal(l, r Var) Eq { return Eq{L: l, R: r} }
+
+// True and False are the propositional constants.
+var (
+	True  = Truth{Value: true}
+	False = Truth{Value: false}
+)
+
+// Neg builds a negation.
+func Neg(f Formula) Not { return Not{F: f} }
+
+// And builds a conjunction of one or more conjuncts, folded to the right.
+func And(fs ...Formula) Formula { return fold(AndOp, fs) }
+
+// Or builds a disjunction of one or more disjuncts, folded to the right.
+func Or(fs ...Formula) Formula { return fold(OrOp, fs) }
+
+func fold(op BinOp, fs []Formula) Formula {
+	if len(fs) == 0 {
+		if op == AndOp {
+			return True
+		}
+		return False
+	}
+	f := fs[len(fs)-1]
+	for i := len(fs) - 2; i >= 0; i-- {
+		f = Binary{Op: op, L: fs[i], R: f}
+	}
+	return f
+}
+
+// Implies builds an implication.
+func Implies(l, r Formula) Binary { return Binary{Op: ImpliesOp, L: l, R: r} }
+
+// Iff builds a bi-implication.
+func Iff(l, r Formula) Binary { return Binary{Op: IffOp, L: l, R: r} }
+
+// Exists builds ∃v₁ … ∃v_m φ.
+func Exists(f Formula, vs ...Var) Formula { return quantify(ExistsQ, f, vs) }
+
+// Forall builds ∀v₁ … ∀v_m φ.
+func Forall(f Formula, vs ...Var) Formula { return quantify(ForallQ, f, vs) }
+
+func quantify(kind QuantKind, f Formula, vs []Var) Formula {
+	for i := len(vs) - 1; i >= 0; i-- {
+		f = Quant{Kind: kind, V: vs[i], F: f}
+	}
+	return f
+}
+
+// Lfp builds [lfp rel(vars…). body](args…).
+func Lfp(rel string, vars []Var, body Formula, args ...Var) Fix {
+	return Fix{Op: LFP, Rel: rel, Vars: vars, Body: body, Args: args}
+}
+
+// Gfp builds [gfp rel(vars…). body](args…).
+func Gfp(rel string, vars []Var, body Formula, args ...Var) Fix {
+	return Fix{Op: GFP, Rel: rel, Vars: vars, Body: body, Args: args}
+}
+
+// Pfp builds [pfp rel(vars…). body](args…).
+func Pfp(rel string, vars []Var, body Formula, args ...Var) Fix {
+	return Fix{Op: PFP, Rel: rel, Vars: vars, Body: body, Args: args}
+}
+
+// Ifp builds [ifp rel(vars…). body](args…).
+func Ifp(rel string, vars []Var, body Formula, args ...Var) Fix {
+	return Fix{Op: IFP, Rel: rel, Vars: vars, Body: body, Args: args}
+}
+
+// SOExists builds ∃S₁ … ∃S_m φ with the given relation variables.
+type RelVar struct {
+	Name  string
+	Arity int
+}
+
+// SOExists wraps f in second-order existential quantifiers, outermost first.
+func SOExists(f Formula, rels ...RelVar) Formula {
+	for i := len(rels) - 1; i >= 0; i-- {
+		f = SOQuant{Rel: rels[i].Name, Arity: rels[i].Arity, F: f}
+	}
+	return f
+}

@@ -1,0 +1,118 @@
+package logic
+
+import (
+	"fmt"
+)
+
+// SimDef is one equation of a simultaneous fixpoint system
+// Sᵢ(x̄ᵢ) = φᵢ(S₁, …, S_m). All bodies may mention all of the system's
+// relations.
+type SimDef struct {
+	Rel  string
+	Vars []Var
+	Body Formula
+}
+
+// BekicLfp eliminates a simultaneous least fixpoint into nested single
+// fixpoints by the Bekić identity:
+//
+//	lfp (S₁,S₂) . (φ₁, φ₂)   projected to S₁
+//	  =  lfp S₁ . φ₁( S₁, lfp S₂ . φ₂(S₁, S₂) )
+//
+// generalized to m equations by recursive elimination of the last one. It
+// returns the formula denoting component `which` of the simultaneous least
+// fixpoint, applied to args. FP as defined in the paper has only unary
+// fixpoint operators, so this is how systems of equations — e.g. the
+// translations of mutually recursive specifications — enter the language
+// without leaving FPᵏ: the nesting is same-polarity throughout, so the
+// result stays alternation-free (dependently) if the bodies are.
+//
+// Every body must use each Sⱼ positively and with arity |defs[j].Vars|.
+func BekicLfp(defs []SimDef, which int, args []Var) (Formula, error) {
+	return bekicOp(LFP, defs, which, args)
+}
+
+// BekicGfp is the dual elimination for simultaneous greatest fixpoints; the
+// Bekić identity holds verbatim with ν in place of µ.
+func BekicGfp(defs []SimDef, which int, args []Var) (Formula, error) {
+	return bekicOp(GFP, defs, which, args)
+}
+
+func bekicOp(op FixOp, defs []SimDef, which int, args []Var) (Formula, error) {
+	if len(defs) == 0 {
+		return nil, fmt.Errorf("logic: empty simultaneous system")
+	}
+	if which < 0 || which >= len(defs) {
+		return nil, fmt.Errorf("logic: component %d of %d-equation system", which, len(defs))
+	}
+	names := make(map[string]bool, len(defs))
+	for _, d := range defs {
+		if names[d.Rel] {
+			return nil, fmt.Errorf("logic: relation %s defined twice", d.Rel)
+		}
+		names[d.Rel] = true
+		if len(d.Vars) == 0 {
+			return nil, fmt.Errorf("logic: simultaneous definition %s with no variables", d.Rel)
+		}
+	}
+	f, err := bekic(op, defs, which)
+	if err != nil {
+		return nil, err
+	}
+	fx := f.(Fix)
+	if len(args) != len(fx.Vars) {
+		return nil, fmt.Errorf("logic: component %s applied to %d arguments, arity %d", fx.Rel, len(args), len(fx.Vars))
+	}
+	fx.Args = args
+	return fx, nil
+}
+
+// bekic returns the fixpoint formula (with empty Args) for component which.
+func bekic(op FixOp, defs []SimDef, which int) (Formula, error) {
+	if len(defs) == 1 {
+		d := defs[0]
+		return Fix{Op: op, Rel: d.Rel, Vars: d.Vars, Body: d.Body}, nil
+	}
+	// Eliminate the last equation: S_m = lfp S_m . φ_m(S₁…S_{m−1}, S_m),
+	// as a formula with the earlier relations free; substitute it for every
+	// S_m atom in the remaining bodies.
+	last := defs[len(defs)-1]
+	lastFix := Fix{Op: op, Rel: last.Rel, Vars: last.Vars, Body: last.Body}
+	rest := make([]SimDef, len(defs)-1)
+	for i, d := range defs[:len(defs)-1] {
+		// Replace S_m(ū) by [lfp S_m(x̄).φ_m](ū).
+		body, err := SubstAtom(d.Body, last.Rel, last.Vars, applied(lastFix, last.Vars))
+		if err != nil {
+			return nil, err
+		}
+		rest[i] = SimDef{Rel: d.Rel, Vars: d.Vars, Body: body}
+	}
+	if which < len(rest) {
+		return bekic(op, rest, which)
+	}
+	// The requested component is the eliminated one:
+	// S_m = lfp S_m . φ_m(S₁*, …, S_{m−1}*, S_m) with the other components'
+	// closed forms substituted in.
+	body := last.Body
+	for i := len(rest) - 1; i >= 0; i-- {
+		comp, err := bekic(op, rest, i)
+		if err != nil {
+			return nil, err
+		}
+		cf := comp.(Fix)
+		body2, err := SubstAtom(body, defs[i].Rel, defs[i].Vars, applied(cf, defs[i].Vars))
+		if err != nil {
+			return nil, err
+		}
+		body = body2
+	}
+	return Fix{Op: op, Rel: last.Rel, Vars: last.Vars, Body: body}, nil
+}
+
+// applied returns fx applied to the given argument variables (for use as a
+// SubstAtom replacement body whose formal parameters are those variables).
+func applied(fx Fix, args []Var) Fix {
+	out := fx
+	out.Args = append([]Var(nil), args...)
+	return out
+}

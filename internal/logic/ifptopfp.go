@@ -1,0 +1,65 @@
+package logic
+
+import "fmt"
+
+// IfpToPfp rewrites every inflationary fixpoint into a partial fixpoint:
+//
+//	[ifp S(x̄). φ](ū)  ⇒  [pfp S(x̄). S(x̄) ∨ φ](ū)
+//
+// The inflationary stage operator S ↦ S ∪ φ(S) is itself inflationary, so
+// its partial-fixpoint run always converges and the two formulas agree on
+// every database. This is the (easy half of the) observation behind the
+// paper's remark that the best known combined-complexity bound for IFPᵏ is
+// the PSPACE bound inherited from PFPᵏ (§3.2, §3.4).
+func IfpToPfp(f Formula) (Formula, error) {
+	switch g := f.(type) {
+	case Atom, Eq, Truth:
+		return g, nil
+	case Not:
+		inner, err := IfpToPfp(g.F)
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: inner}, nil
+	case Binary:
+		l, err := IfpToPfp(g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := IfpToPfp(g.R)
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: g.Op, L: l, R: r}, nil
+	case Quant:
+		inner, err := IfpToPfp(g.F)
+		if err != nil {
+			return nil, err
+		}
+		return Quant{Kind: g.Kind, V: g.V, F: inner}, nil
+	case Fix:
+		body, err := IfpToPfp(g.Body)
+		if err != nil {
+			return nil, err
+		}
+		if g.Op != IFP {
+			return Fix{Op: g.Op, Rel: g.Rel, Vars: g.Vars, Body: body, Args: g.Args}, nil
+		}
+		selfAtom := Atom{Rel: g.Rel, Args: append([]Var(nil), g.Vars...)}
+		return Fix{
+			Op:   PFP,
+			Rel:  g.Rel,
+			Vars: g.Vars,
+			Body: Or(selfAtom, body),
+			Args: g.Args,
+		}, nil
+	case SOQuant:
+		inner, err := IfpToPfp(g.F)
+		if err != nil {
+			return nil, err
+		}
+		return SOQuant{Rel: g.Rel, Arity: g.Arity, F: inner}, nil
+	default:
+		return nil, fmt.Errorf("logic: unknown formula %T", f)
+	}
+}

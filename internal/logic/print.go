@@ -1,0 +1,59 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The String methods render formulas in the concrete syntax accepted by
+// parser.ParseFormula. The rendering is fully parenthesized, so printing and
+// re-parsing round-trips exactly.
+
+func (a Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, v := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(v))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func (e Eq) String() string { return fmt.Sprintf("%s = %s", e.L, e.R) }
+
+func (t Truth) String() string {
+	if t.Value {
+		return "true"
+	}
+	return "false"
+}
+
+func (n Not) String() string { return "!(" + n.F.String() + ")" }
+
+func (b Binary) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+func (q Quant) String() string {
+	return fmt.Sprintf("(%s %s. %s)", q.Kind, q.V, q.F)
+}
+
+func (fx Fix) String() string {
+	return fmt.Sprintf("[%s %s(%s). %s](%s)", fx.Op, fx.Rel, joinVars(fx.Vars), fx.Body, joinVars(fx.Args))
+}
+
+func (so SOQuant) String() string {
+	return fmt.Sprintf("(exists2 %s/%d. %s)", so.Rel, so.Arity, so.F)
+}
+
+func joinVars(vs []Var) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return strings.Join(parts, ", ")
+}

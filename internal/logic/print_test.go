@@ -1,0 +1,137 @@
+package logic
+
+import "testing"
+
+func TestOpStrings(t *testing.T) {
+	ops := map[string]string{
+		LFP.String(): "lfp", GFP.String(): "gfp", PFP.String(): "pfp", IFP.String(): "ifp",
+	}
+	for got, want := range ops {
+		if got != want {
+			t.Errorf("FixOp string %q != %q", got, want)
+		}
+	}
+	if FixOp(99).String() != "fix?" {
+		t.Errorf("unknown FixOp = %q", FixOp(99).String())
+	}
+	bins := []struct {
+		op   BinOp
+		want string
+	}{{AndOp, "&"}, {OrOp, "|"}, {ImpliesOp, "->"}, {IffOp, "<->"}}
+	for _, c := range bins {
+		if c.op.String() != c.want {
+			t.Errorf("BinOp %v = %q", c.op, c.op.String())
+		}
+	}
+	if BinOp(99).String() != "?" {
+		t.Error("unknown BinOp")
+	}
+	if ExistsQ.String() != "exists" || ForallQ.String() != "forall" {
+		t.Error("QuantKind strings")
+	}
+}
+
+func TestFragmentStrings(t *testing.T) {
+	cases := map[Fragment]string{
+		FragFO: "FO", FragFP: "FP", FragESO: "ESO", FragIFP: "IFP",
+		FragPFP: "PFP", FragOther: "other",
+	}
+	for f, want := range cases {
+		if f.String() != want {
+			t.Errorf("Fragment %d = %q, want %q", f, f.String(), want)
+		}
+	}
+}
+
+func TestFormulaStrings(t *testing.T) {
+	cases := []struct {
+		f    Formula
+		want string
+	}{
+		{R("E", "x", "y"), "E(x, y)"},
+		{R("Z"), "Z()"},
+		{Equal("x", "y"), "x = y"},
+		{True, "true"},
+		{False, "false"},
+		{Neg(True), "!(true)"},
+		{Implies(True, False), "(true -> false)"},
+		{Iff(True, False), "(true <-> false)"},
+		{Exists(True, "x"), "(exists x. true)"},
+		{Forall(True, "x"), "(forall x. true)"},
+		{Ifp("S", []Var{"x"}, R("S", "x"), "u"), "[ifp S(x). S(x)](u)"},
+		{SOExists(True, RelVar{"S", 2}), "(exists2 S/2. true)"},
+	}
+	for _, c := range cases {
+		if c.f.String() != c.want {
+			t.Errorf("String = %q, want %q", c.f.String(), c.want)
+		}
+	}
+	q := MustQuery([]Var{"x"}, R("P", "x"))
+	if q.String() != "(x). P(x)" {
+		t.Errorf("Query.String = %q", q.String())
+	}
+}
+
+func TestNNFErrors(t *testing.T) {
+	// Negated SO quantifier is the documented failure.
+	if _, err := NNF(Neg(SOExists(True, RelVar{"S", 1}))); err == nil {
+		t.Fatal("negated SO accepted")
+	}
+	// NNF of a positive SO quantifier passes through.
+	f, err := NNF(SOExists(Neg(Neg(True)), RelVar{"S", 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.String() != "(exists2 S/1. true)" {
+		t.Fatalf("NNF through SO = %s", f)
+	}
+}
+
+func TestValidateMoreErrors(t *testing.T) {
+	bad := []Formula{
+		Quant{Kind: ExistsQ, V: "", F: True},
+		Fix{Op: LFP, Rel: "", Vars: []Var{"x"}, Body: True, Args: []Var{"u"}},
+		Fix{Op: LFP, Rel: "S", Vars: []Var{""}, Body: True, Args: []Var{"u"}},
+		SOQuant{Rel: "", Arity: 1, F: True},
+		SOQuant{Rel: "S", Arity: -1, F: True},
+	}
+	for _, f := range bad {
+		if err := Validate(f, nil); err == nil {
+			t.Errorf("invalid formula accepted: %#v", f)
+		}
+	}
+}
+
+func TestDependentDepthThroughConnectivesAndSO(t *testing.T) {
+	mu := Lfp("S", []Var{"x"}, Or(R("P", "x"), R("S", "x")), "x")
+	cases := []struct {
+		f    Formula
+		want int
+	}{
+		{Neg(mu), 1},
+		{Implies(mu, mu), 1},
+		{Exists(And(mu, True), "x"), 1},
+		{SOExists(mu, RelVar{"T", 1}), 1},
+		{True, 0},
+	}
+	for _, c := range cases {
+		if got := DependentAlternationDepth(c.f); got != c.want {
+			t.Errorf("DependentAlternationDepth(%s) = %d, want %d", c.f, got, c.want)
+		}
+	}
+}
+
+func TestRelOccursFreeEdges(t *testing.T) {
+	if relOccursFree("S", Equal("x", "y")) {
+		t.Error("equality mentions no relations")
+	}
+	if !relOccursFree("S", Neg(R("S", "x"))) {
+		t.Error("negated occurrence is still an occurrence")
+	}
+	if relOccursFree("S", SOQuant{Rel: "S", Arity: 1, F: R("S", "x")}) {
+		t.Error("rebinding by SO quantifier should hide occurrences")
+	}
+	if !relOccursFree("S", Quant{Kind: ForallQ, V: "x", F: R("S", "x")}) {
+		t.Error("occurrence under quantifier missed")
+	}
+}

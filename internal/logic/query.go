@@ -1,0 +1,90 @@
+package logic
+
+import (
+	"fmt"
+)
+
+// Query is the paper's (x̄)φ(x̄): a head tuple of free variables and a body
+// formula. Evaluated against a database B it denotes
+// { t ∈ D^{|Head|} | B ⊨ φ[Head ↦ t] }. An empty head makes the query
+// Boolean.
+type Query struct {
+	Head []Var
+	Body Formula
+}
+
+// NewQuery builds a query and validates that the head variables are distinct
+// and cover the free variables of the body.
+func NewQuery(head []Var, body Formula) (Query, error) {
+	q := Query{Head: head, Body: body}
+	if err := q.Validate(nil); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustQuery is NewQuery that panics on error, for statically valid literals.
+func MustQuery(head []Var, body Formula) Query {
+	q, err := NewQuery(head, body)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Validate checks the query's well-formedness: distinct head variables, every
+// free variable of the body listed in the head, and a valid body (see
+// Validate on formulas).
+func (q Query) Validate(sig Signature) error {
+	seen := make(map[Var]bool, len(q.Head))
+	for _, v := range q.Head {
+		if v == "" {
+			return fmt.Errorf("logic: empty head variable")
+		}
+		if seen[v] {
+			return fmt.Errorf("logic: head variable %s repeated", v)
+		}
+		seen[v] = true
+	}
+	for v := range FreeVars(q.Body) {
+		if !seen[v] {
+			return fmt.Errorf("logic: body variable %s not in query head", v)
+		}
+	}
+	return Validate(q.Body, sig)
+}
+
+// Width returns the number of distinct individual variables of the query:
+// the head variables plus every variable of the body.
+func (q Query) Width() int {
+	vars := AllVars(q.Body)
+	for _, v := range q.Head {
+		vars[v] = true
+	}
+	return len(vars)
+}
+
+// Vars returns the query's variables in a canonical order: head variables
+// first (in head order), then the remaining body variables sorted by name.
+// The bounded-variable evaluators use this order to assign coordinate axes.
+func (q Query) Vars() []Var {
+	out := append([]Var(nil), q.Head...)
+	seen := make(map[Var]bool, len(out))
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, v := range SortedVars(AllVars(q.Body)) {
+		if !seen[v] {
+			out = append(out, v)
+			seen[v] = true
+		}
+	}
+	return out
+}
+
+// Arity returns the arity of the query's answer relation.
+func (q Query) Arity() int { return len(q.Head) }
+
+func (q Query) String() string {
+	return fmt.Sprintf("(%s). %s", joinVars(q.Head), q.Body)
+}

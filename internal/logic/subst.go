@@ -1,0 +1,178 @@
+package logic
+
+import (
+	"fmt"
+)
+
+// RenameFree returns f with every *free* occurrence of a variable renamed
+// according to subst. Bound occurrences (and the binders themselves) are
+// untouched; inside the scope of a binder for v, the mapping for v is
+// suspended.
+//
+// The renaming is deliberately textual — it does NOT avoid capture. Variable
+// reuse with intended capture is the essence of bounded-variable queries
+// (§2.2 builds φ_{n+1}(x,y) = ∃z(E(x,z) ∧ ∃x(x=z ∧ φ_n(x,y))) exactly this
+// way), so a capture-avoiding substitution would be wrong for this package's
+// purposes. Callers that need freshness must pick fresh names themselves.
+func RenameFree(f Formula, subst map[Var]Var) Formula {
+	if len(subst) == 0 {
+		return f
+	}
+	ren := func(v Var) Var {
+		if w, ok := subst[v]; ok {
+			return w
+		}
+		return v
+	}
+	switch g := f.(type) {
+	case Atom:
+		args := make([]Var, len(g.Args))
+		for i, v := range g.Args {
+			args[i] = ren(v)
+		}
+		return Atom{Rel: g.Rel, Args: args}
+	case Eq:
+		return Eq{L: ren(g.L), R: ren(g.R)}
+	case Truth:
+		return g
+	case Not:
+		return Not{F: RenameFree(g.F, subst)}
+	case Binary:
+		return Binary{Op: g.Op, L: RenameFree(g.L, subst), R: RenameFree(g.R, subst)}
+	case Quant:
+		inner := without(subst, g.V)
+		return Quant{Kind: g.Kind, V: g.V, F: RenameFree(g.F, inner)}
+	case Fix:
+		inner := subst
+		for _, v := range g.Vars {
+			inner = without(inner, v)
+		}
+		args := make([]Var, len(g.Args))
+		for i, v := range g.Args {
+			args[i] = ren(v)
+		}
+		return Fix{Op: g.Op, Rel: g.Rel, Vars: g.Vars, Body: RenameFree(g.Body, inner), Args: args}
+	case SOQuant:
+		return SOQuant{Rel: g.Rel, Arity: g.Arity, F: RenameFree(g.F, subst)}
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+}
+
+func without(subst map[Var]Var, v Var) map[Var]Var {
+	if _, ok := subst[v]; !ok {
+		return subst
+	}
+	out := make(map[Var]Var, len(subst))
+	for k, w := range subst {
+		if k != v {
+			out[k] = w
+		}
+	}
+	return out
+}
+
+// SubstAtom returns f with every free occurrence of an atom rel(u₁,…,u_m)
+// replaced by the formula body, whose formal parameters params are renamed
+// (textually, see RenameFree) to the actual arguments u₁,…,u_m of each
+// occurrence. Occurrences where rel is rebound by a fixpoint operator or a
+// second-order quantifier are left alone.
+//
+// This is the engine of Proposition 3.2: φ_n(x) = φ(x)[P(x) := φ_{n−1}(x)]
+// iterates a formula family by substitution without growing the variable
+// width.
+func SubstAtom(f Formula, rel string, params []Var, body Formula) (Formula, error) {
+	switch g := f.(type) {
+	case Atom:
+		if g.Rel != rel {
+			return g, nil
+		}
+		if len(g.Args) != len(params) {
+			return nil, fmt.Errorf("logic: substituting %s/%d at occurrence with %d arguments", rel, len(params), len(g.Args))
+		}
+		subst := make(map[Var]Var, len(params))
+		for i, p := range params {
+			if p != g.Args[i] {
+				subst[p] = g.Args[i]
+			}
+		}
+		return RenameFree(body, subst), nil
+	case Eq, Truth:
+		return g, nil
+	case Not:
+		inner, err := SubstAtom(g.F, rel, params, body)
+		if err != nil {
+			return nil, err
+		}
+		return Not{F: inner}, nil
+	case Binary:
+		l, err := SubstAtom(g.L, rel, params, body)
+		if err != nil {
+			return nil, err
+		}
+		r, err := SubstAtom(g.R, rel, params, body)
+		if err != nil {
+			return nil, err
+		}
+		return Binary{Op: g.Op, L: l, R: r}, nil
+	case Quant:
+		inner, err := SubstAtom(g.F, rel, params, body)
+		if err != nil {
+			return nil, err
+		}
+		return Quant{Kind: g.Kind, V: g.V, F: inner}, nil
+	case Fix:
+		if g.Rel == rel {
+			return g, nil // rebound inside
+		}
+		inner, err := SubstAtom(g.Body, rel, params, body)
+		if err != nil {
+			return nil, err
+		}
+		return Fix{Op: g.Op, Rel: g.Rel, Vars: g.Vars, Body: inner, Args: g.Args}, nil
+	case SOQuant:
+		if g.Rel == rel {
+			return g, nil
+		}
+		inner, err := SubstAtom(g.F, rel, params, body)
+		if err != nil {
+			return nil, err
+		}
+		return SOQuant{Rel: g.Rel, Arity: g.Arity, F: inner}, nil
+	default:
+		return nil, fmt.Errorf("logic: unknown formula %T", f)
+	}
+}
+
+// NegateRel returns f with every free occurrence of an atom of rel wrapped
+// in a negation. It is used to dualize fixpoint bodies:
+// ¬[lfp S(x̄).φ](ū) ≡ [gfp S(x̄). ¬φ[S := ¬S]](ū).
+func NegateRel(f Formula, rel string) Formula {
+	switch g := f.(type) {
+	case Atom:
+		if g.Rel == rel {
+			return Not{F: g}
+		}
+		return g
+	case Eq, Truth:
+		return g
+	case Not:
+		return Not{F: NegateRel(g.F, rel)}
+	case Binary:
+		return Binary{Op: g.Op, L: NegateRel(g.L, rel), R: NegateRel(g.R, rel)}
+	case Quant:
+		return Quant{Kind: g.Kind, V: g.V, F: NegateRel(g.F, rel)}
+	case Fix:
+		if g.Rel == rel {
+			return g
+		}
+		return Fix{Op: g.Op, Rel: g.Rel, Vars: g.Vars, Body: NegateRel(g.Body, rel), Args: g.Args}
+	case SOQuant:
+		if g.Rel == rel {
+			return g
+		}
+		return SOQuant{Rel: g.Rel, Arity: g.Arity, F: NegateRel(g.F, rel)}
+	default:
+		panic(fmt.Sprintf("logic: unknown formula %T", f))
+	}
+}

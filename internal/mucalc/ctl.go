@@ -1,0 +1,363 @@
+package mucalc
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// CTL is the branching-time logic of Clarke–Emerson–Sistla [CES86], which
+// §1 of the paper cites as the origin of "verification = query
+// evaluation". Every CTL operator is a one-fixpoint µ-calculus formula, so
+// CTL sits inside the alternation-free fragment of Lµ — and hence inside
+// FP² with the fast Monotone evaluation path.
+//
+// Conventions at deadlocked states follow the modal µ-calculus: EX φ is
+// false, AX φ vacuously true; AF/AU require a successor at every step
+// (they carry a ◇tt conjunct), so a deadlocked state satisfies A[φ U ψ]
+// only via ψ.
+type CTL interface {
+	isCTL()
+	String() string
+}
+
+// CTLProp is an atomic proposition.
+type CTLProp struct{ Name string }
+
+// CTLLit is a constant.
+type CTLLit struct{ Value bool }
+
+// CTLNot is negation (allowed anywhere; pushed to propositions during
+// translation).
+type CTLNot struct{ F CTL }
+
+// CTLAnd and CTLOr are the Boolean connectives.
+type CTLAnd struct{ L, R CTL }
+
+// CTLOr is disjunction.
+type CTLOr struct{ L, R CTL }
+
+// EX: some successor satisfies F. AX: all successors do.
+type EX struct{ F CTL }
+
+// AX: all successors satisfy F.
+type AX struct{ F CTL }
+
+// EF: some path eventually reaches F.
+type EF_ struct{ F CTL }
+
+// AF: every path eventually reaches F.
+type AF_ struct{ F CTL }
+
+// EG: some path satisfies F forever.
+type EG_ struct{ F CTL }
+
+// AG: every reachable state satisfies F.
+type AG_ struct{ F CTL }
+
+// EU: some path satisfies L until R holds.
+type EU struct{ L, R CTL }
+
+// AU: every path satisfies L until R holds.
+type AU struct{ L, R CTL }
+
+func (CTLProp) isCTL() {}
+func (CTLLit) isCTL()  {}
+func (CTLNot) isCTL()  {}
+func (CTLAnd) isCTL()  {}
+func (CTLOr) isCTL()   {}
+func (EX) isCTL()      {}
+func (AX) isCTL()      {}
+func (EF_) isCTL()     {}
+func (AF_) isCTL()     {}
+func (EG_) isCTL()     {}
+func (AG_) isCTL()     {}
+func (EU) isCTL()      {}
+func (AU) isCTL()      {}
+
+func (f CTLProp) String() string { return f.Name }
+func (f CTLLit) String() string {
+	if f.Value {
+		return "tt"
+	}
+	return "ff"
+}
+func (f CTLNot) String() string { return "!" + f.F.String() }
+func (f CTLAnd) String() string { return "(" + f.L.String() + " & " + f.R.String() + ")" }
+func (f CTLOr) String() string  { return "(" + f.L.String() + " | " + f.R.String() + ")" }
+func (f EX) String() string     { return "EX " + f.F.String() }
+func (f AX) String() string     { return "AX " + f.F.String() }
+func (f EF_) String() string    { return "EF " + f.F.String() }
+func (f AF_) String() string    { return "AF " + f.F.String() }
+func (f EG_) String() string    { return "EG " + f.F.String() }
+func (f AG_) String() string    { return "AG " + f.F.String() }
+func (f EU) String() string     { return "E[" + f.L.String() + " U " + f.R.String() + "]" }
+func (f AU) String() string     { return "A[" + f.L.String() + " U " + f.R.String() + "]" }
+
+// CTLToMu translates a CTL formula into the µ-calculus, pushing negations
+// to the propositions via the operator dualities; the output is
+// alternation-free (depth ≤ 1 per operator, never nested alternation).
+func CTLToMu(f CTL) (Formula, error) {
+	c := &ctlCtx{}
+	return c.tr(f, false)
+}
+
+type ctlCtx struct{ fresh int }
+
+func (c *ctlCtx) v() string {
+	c.fresh++
+	return fmt.Sprintf("Xctl%d", c.fresh)
+}
+
+func diamondTT() Formula { return Diamond{F: Lit{true}} }
+
+func (c *ctlCtx) tr(f CTL, neg bool) (Formula, error) {
+	switch g := f.(type) {
+	case CTLProp:
+		if neg {
+			return NegProp{Name: g.Name}, nil
+		}
+		return Prop{Name: g.Name}, nil
+	case CTLLit:
+		return Lit{Value: g.Value != neg}, nil
+	case CTLNot:
+		return c.tr(g.F, !neg)
+	case CTLAnd:
+		l, err := c.tr(g.L, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.tr(g.R, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return Disj{L: l, R: r}, nil
+		}
+		return Conj{L: l, R: r}, nil
+	case CTLOr:
+		l, err := c.tr(g.L, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.tr(g.R, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return Conj{L: l, R: r}, nil
+		}
+		return Disj{L: l, R: r}, nil
+	case EX:
+		sub, err := c.tr(g.F, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg { // ¬EX φ = AX ¬φ
+			return Box{F: sub}, nil
+		}
+		return Diamond{F: sub}, nil
+	case AX:
+		sub, err := c.tr(g.F, neg)
+		if err != nil {
+			return nil, err
+		}
+		if neg {
+			return Diamond{F: sub}, nil
+		}
+		return Box{F: sub}, nil
+	case EF_:
+		return c.tr(EU{L: CTLLit{true}, R: g.F}, neg)
+	case AF_:
+		return c.tr(AU{L: CTLLit{true}, R: g.F}, neg)
+	case EG_:
+		if neg { // ¬EG φ = AF ¬φ
+			return c.tr(AF_{F: CTLNot{F: g.F}}, false)
+		}
+		sub, err := c.tr(g.F, false)
+		if err != nil {
+			return nil, err
+		}
+		x := c.v()
+		return Nu{Var: x, F: Conj{L: sub, R: Diamond{F: VarRef{x}}}}, nil
+	case AG_:
+		if neg { // ¬AG φ = EF ¬φ
+			return c.tr(EF_{F: CTLNot{F: g.F}}, false)
+		}
+		sub, err := c.tr(g.F, false)
+		if err != nil {
+			return nil, err
+		}
+		x := c.v()
+		return Nu{Var: x, F: Conj{L: sub, R: Box{F: VarRef{x}}}}, nil
+	case EU:
+		l, err := c.tr(g.L, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.tr(g.R, neg)
+		if err != nil {
+			return nil, err
+		}
+		x := c.v()
+		if neg {
+			// ¬E[φ U ψ] = νX. ¬ψ ∧ (¬φ ∨ □X)
+			return Nu{Var: x, F: Conj{L: r, R: Disj{L: l, R: Box{F: VarRef{x}}}}}, nil
+		}
+		// E[φ U ψ] = µX. ψ ∨ (φ ∧ ◇X)
+		return Mu{Var: x, F: Disj{L: r, R: Conj{L: l, R: Diamond{F: VarRef{x}}}}}, nil
+	case AU:
+		l, err := c.tr(g.L, neg)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.tr(g.R, neg)
+		if err != nil {
+			return nil, err
+		}
+		x := c.v()
+		if neg {
+			// ¬A[φ U ψ] = νX. ¬ψ ∧ (¬φ ∨ ◇X ∨ □ff)
+			return Nu{Var: x, F: Conj{L: r,
+				R: Disj{L: l, R: Disj{L: Diamond{F: VarRef{x}}, R: Box{F: Lit{false}}}}}}, nil
+		}
+		// A[φ U ψ] = µX. ψ ∨ (φ ∧ □X ∧ ◇tt)
+		return Mu{Var: x, F: Disj{L: r,
+			R: Conj{L: l, R: Conj{L: Box{F: VarRef{x}}, R: diamondTT()}}}}, nil
+	default:
+		return nil, fmt.Errorf("mucalc: unknown CTL formula %T", f)
+	}
+}
+
+// CheckCTL computes the satisfying states of a CTL formula by direct
+// semantics — the independent oracle for the translation.
+func CheckCTL(k *Kripke, f CTL) (*bitset.Set, error) {
+	switch g := f.(type) {
+	case CTLProp:
+		if set, ok := k.props[g.Name]; ok {
+			return set.Clone(), nil
+		}
+		return bitset.New(k.n), nil
+	case CTLLit:
+		if g.Value {
+			return bitset.Full(k.n), nil
+		}
+		return bitset.New(k.n), nil
+	case CTLNot:
+		s, err := CheckCTL(k, g.F)
+		if err != nil {
+			return nil, err
+		}
+		s.Not()
+		return s, nil
+	case CTLAnd:
+		l, err := CheckCTL(k, g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CheckCTL(k, g.R)
+		if err != nil {
+			return nil, err
+		}
+		l.And(r)
+		return l, nil
+	case CTLOr:
+		l, err := CheckCTL(k, g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CheckCTL(k, g.R)
+		if err != nil {
+			return nil, err
+		}
+		l.Or(r)
+		return l, nil
+	case EX:
+		s, err := CheckCTL(k, g.F)
+		if err != nil {
+			return nil, err
+		}
+		return k.preExists(s), nil
+	case AX:
+		s, err := CheckCTL(k, g.F)
+		if err != nil {
+			return nil, err
+		}
+		return k.preForall(s), nil
+	case EF_:
+		return CheckCTL(k, EU{L: CTLLit{true}, R: g.F})
+	case AF_:
+		return CheckCTL(k, AU{L: CTLLit{true}, R: g.F})
+	case EG_:
+		s, err := CheckCTL(k, g.F)
+		if err != nil {
+			return nil, err
+		}
+		// Greatest fixpoint: start from ⟦φ⟧ and shrink.
+		cur := s
+		for {
+			next := k.preExists(cur)
+			next.And(s)
+			if next.Equal(cur) {
+				return cur, nil
+			}
+			cur = next
+		}
+	case AG_:
+		s, err := CheckCTL(k, g.F)
+		if err != nil {
+			return nil, err
+		}
+		cur := s
+		for {
+			next := k.preForall(cur)
+			next.And(s)
+			if next.Equal(cur) {
+				return cur, nil
+			}
+			cur = next
+		}
+	case EU:
+		l, err := CheckCTL(k, g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CheckCTL(k, g.R)
+		if err != nil {
+			return nil, err
+		}
+		cur := r.Clone()
+		for {
+			step := k.preExists(cur)
+			step.And(l)
+			step.Or(cur)
+			if step.Equal(cur) {
+				return cur, nil
+			}
+			cur = step
+		}
+	case AU:
+		l, err := CheckCTL(k, g.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CheckCTL(k, g.R)
+		if err != nil {
+			return nil, err
+		}
+		hasSucc := k.preExists(bitset.Full(k.n))
+		cur := r.Clone()
+		for {
+			step := k.preForall(cur)
+			step.And(hasSucc)
+			step.And(l)
+			step.Or(cur)
+			if step.Equal(cur) {
+				return cur, nil
+			}
+			cur = step
+		}
+	default:
+		return nil, fmt.Errorf("mucalc: unknown CTL formula %T", f)
+	}
+}

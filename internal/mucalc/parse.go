@@ -1,0 +1,222 @@
+package mucalc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseMu parses the µ-calculus concrete syntax emitted by the String
+// methods:
+//
+//	formula := disj
+//	disj    := conj ('|' conj)*
+//	conj    := unary ('&' unary)*
+//	unary   := '!' IDENT | '<>' unary | '[]' unary
+//	         | ('mu'|'nu') IDENT '.' formula
+//	         | 'tt' | 'ff' | '(' formula ')' | IDENT
+//
+// An identifier is a fixpoint variable if an enclosing µ/ν binds it, and a
+// proposition otherwise. Fixpoint bodies extend as far right as possible.
+func ParseMu(input string) (Formula, error) {
+	toks, err := muLex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &muParser{toks: toks, bound: map[string]bool{}}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("mucalc: trailing input at %q", p.toks[p.pos])
+	}
+	if err := Validate(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func muLex(input string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c == '(' || c == ')' || c == '&' || c == '|' || c == '!' || c == '.':
+			toks = append(toks, string(c))
+			i++
+		case strings.HasPrefix(input[i:], "<>"):
+			toks = append(toks, "<>")
+			i += 2
+		case strings.HasPrefix(input[i:], "[]"):
+			toks = append(toks, "[]")
+			i += 2
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			toks = append(toks, input[i:j])
+			i = j
+		default:
+			return nil, fmt.Errorf("mucalc: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+type muParser struct {
+	toks  []string
+	pos   int
+	bound map[string]bool
+}
+
+func (p *muParser) peek() string {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos]
+	}
+	return ""
+}
+
+func (p *muParser) next() string {
+	t := p.peek()
+	if t != "" {
+		p.pos++
+	}
+	return t
+}
+
+func (p *muParser) expect(tok string) error {
+	if p.peek() != tok {
+		return fmt.Errorf("mucalc: expected %q, found %q", tok, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *muParser) formula() (Formula, error) {
+	l, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "|" {
+		p.next()
+		r, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		l = Disj{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *muParser) conj() (Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "&" {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = Conj{L: l, R: r}
+	}
+	return l, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if !(unicode.IsLetter(r) || r == '_' || (i > 0 && unicode.IsDigit(r))) {
+			return false
+		}
+	}
+	switch s {
+	case "mu", "nu", "tt", "ff":
+		return false
+	}
+	return true
+}
+
+func (p *muParser) unary() (Formula, error) {
+	switch t := p.peek(); t {
+	case "!":
+		p.next()
+		name := p.next()
+		if !isIdent(name) {
+			return nil, fmt.Errorf("mucalc: '!' must be followed by a proposition, found %q", name)
+		}
+		if p.bound[name] {
+			return nil, fmt.Errorf("mucalc: fixpoint variable %s under negation", name)
+		}
+		return NegProp{Name: name}, nil
+	case "<>":
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Diamond{F: f}, nil
+	case "[]":
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Box{F: f}, nil
+	case "mu", "nu":
+		p.next()
+		name := p.next()
+		if !isIdent(name) {
+			return nil, fmt.Errorf("mucalc: %s must bind an identifier, found %q", t, name)
+		}
+		if err := p.expect("."); err != nil {
+			return nil, err
+		}
+		if p.bound[name] {
+			return nil, fmt.Errorf("mucalc: variable %s bound twice", name)
+		}
+		p.bound[name] = true
+		body, err := p.formula()
+		delete(p.bound, name)
+		if err != nil {
+			return nil, err
+		}
+		if t == "mu" {
+			return Mu{Var: name, F: body}, nil
+		}
+		return Nu{Var: name, F: body}, nil
+	case "tt":
+		p.next()
+		return Lit{Value: true}, nil
+	case "ff":
+		p.next()
+		return Lit{Value: false}, nil
+	case "(":
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	default:
+		if !isIdent(t) {
+			return nil, fmt.Errorf("mucalc: unexpected token %q", t)
+		}
+		p.next()
+		if p.bound[t] {
+			return VarRef{Name: t}, nil
+		}
+		return Prop{Name: t}, nil
+	}
+}

@@ -1,0 +1,183 @@
+// Package parser implements the concrete syntax of the query languages:
+// a lexer, a recursive-descent parser for formulas and queries, and (via the
+// String methods in package logic) a printer whose output re-parses exactly.
+//
+// Grammar (fully bracketed forms are what the printer emits; the parser is
+// more liberal):
+//
+//	query   := '(' varlist? ')' '.' formula
+//	formula := iff
+//	iff     := impl ( '<->' impl )*
+//	impl    := or ( '->' impl )?                    (right associative)
+//	or      := and ( '|' and )*
+//	and     := unary ( '&' unary )*
+//	unary   := '!' unary | quant | so | fix | primary
+//	quant   := ('exists'|'forall') varlist '.' formula
+//	so      := 'exists2' NAME '/' NUMBER '.' formula
+//	fix     := '[' ('lfp'|'gfp'|'pfp') NAME '(' varlist? ')' '.' formula ']'
+//	           '(' varlist? ')'
+//	primary := 'true' | 'false' | '(' formula ')'
+//	         | NAME '(' varlist? ')'                (atom)
+//	         | NAME '=' NAME                        (equality)
+//	varlist := NAME ( ',' NAME )*
+//
+// Quantifier and fixpoint bodies extend as far to the right as possible.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokName
+	tokNumber
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokDot
+	tokSlash
+	tokBang
+	tokAmp
+	tokPipe
+	tokArrow
+	tokIffOp
+	tokEquals
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokName:
+		return "name"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokSlash:
+		return "'/'"
+	case tokBang:
+		return "'!'"
+	case tokAmp:
+		return "'&'"
+	case tokPipe:
+		return "'|'"
+	case tokArrow:
+		return "'->'"
+	case tokIffOp:
+		return "'<->'"
+	case tokEquals:
+		return "'='"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes the input. It returns a typed error on an unexpected rune.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	emit := func(k tokenKind, text string, pos int) {
+		toks = append(toks, token{kind: k, text: text, pos: pos})
+	}
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			emit(tokLParen, "(", i)
+			i++
+		case c == ')':
+			emit(tokRParen, ")", i)
+			i++
+		case c == '[':
+			emit(tokLBracket, "[", i)
+			i++
+		case c == ']':
+			emit(tokRBracket, "]", i)
+			i++
+		case c == ',':
+			emit(tokComma, ",", i)
+			i++
+		case c == '.':
+			emit(tokDot, ".", i)
+			i++
+		case c == '/':
+			emit(tokSlash, "/", i)
+			i++
+		case c == '!':
+			emit(tokBang, "!", i)
+			i++
+		case c == '&':
+			emit(tokAmp, "&", i)
+			i++
+		case c == '|':
+			emit(tokPipe, "|", i)
+			i++
+		case c == '=':
+			emit(tokEquals, "=", i)
+			i++
+		case c == '-':
+			if strings.HasPrefix(input[i:], "->") {
+				emit(tokArrow, "->", i)
+				i += 2
+			} else {
+				return nil, fmt.Errorf("parser: unexpected '-' at offset %d", i)
+			}
+		case c == '<':
+			if strings.HasPrefix(input[i:], "<->") {
+				emit(tokIffOp, "<->", i)
+				i += 3
+			} else {
+				return nil, fmt.Errorf("parser: unexpected '<' at offset %d", i)
+			}
+		case unicode.IsDigit(c):
+			j := i
+			for j < len(input) && unicode.IsDigit(rune(input[j])) {
+				j++
+			}
+			emit(tokNumber, input[i:j], i)
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '\'') {
+				j++
+			}
+			emit(tokName, input[i:j], i)
+			i = j
+		default:
+			return nil, fmt.Errorf("parser: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(input)})
+	return toks, nil
+}
+
+func atoi(s string) int {
+	n, _ := strconv.Atoi(s)
+	return n
+}

@@ -1,0 +1,257 @@
+// Package prop implements propositional formulas: the source problems of
+// two of the paper's lower bounds. Theorem 4.5 reduces propositional
+// satisfiability to ESOᵏ expression complexity (propositions become 0-ary
+// relation variables); the Boolean formula value problem (Buss 1987), i.e.
+// variable-free formulas, is the ALOGTIME-hardness source of Theorem 4.4.
+package prop
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/sat"
+)
+
+// Formula is a propositional formula over variables 1..n.
+type Formula interface {
+	isProp()
+	String() string
+}
+
+// Var is a propositional variable (numbered from 1).
+type Var int
+
+// Const is a propositional constant.
+type Const bool
+
+// Not is negation.
+type Not struct{ F Formula }
+
+// And is binary conjunction.
+type And struct{ L, R Formula }
+
+// Or is binary disjunction.
+type Or struct{ L, R Formula }
+
+func (Var) isProp()   {}
+func (Const) isProp() {}
+func (Not) isProp()   {}
+func (And) isProp()   {}
+func (Or) isProp()    {}
+
+func (v Var) String() string { return fmt.Sprintf("p%d", int(v)) }
+func (c Const) String() string {
+	if c {
+		return "1"
+	}
+	return "0"
+}
+func (n Not) String() string { return "!" + n.F.String() }
+func (a And) String() string { return "(" + a.L.String() + " & " + a.R.String() + ")" }
+func (o Or) String() string  { return "(" + o.L.String() + " | " + o.R.String() + ")" }
+
+// MaxVar returns the largest variable number in f (0 if none).
+func MaxVar(f Formula) int {
+	switch g := f.(type) {
+	case Var:
+		return int(g)
+	case Const:
+		return 0
+	case Not:
+		return MaxVar(g.F)
+	case And:
+		return maxInt(MaxVar(g.L), MaxVar(g.R))
+	case Or:
+		return maxInt(MaxVar(g.L), MaxVar(g.R))
+	default:
+		return 0
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Size returns the number of AST nodes.
+func Size(f Formula) int {
+	switch g := f.(type) {
+	case Var, Const:
+		return 1
+	case Not:
+		return 1 + Size(g.F)
+	case And:
+		return 1 + Size(g.L) + Size(g.R)
+	case Or:
+		return 1 + Size(g.L) + Size(g.R)
+	default:
+		return 1
+	}
+}
+
+// Eval evaluates f under the assignment (indexed by variable; index 0
+// unused). Variables beyond the slice are false.
+func Eval(f Formula, assign []bool) bool {
+	switch g := f.(type) {
+	case Var:
+		return int(g) < len(assign) && assign[g]
+	case Const:
+		return bool(g)
+	case Not:
+		return !Eval(g.F, assign)
+	case And:
+		return Eval(g.L, assign) && Eval(g.R, assign)
+	case Or:
+		return Eval(g.L, assign) || Eval(g.R, assign)
+	default:
+		return false
+	}
+}
+
+// Satisfiable decides satisfiability via the CDCL solver (Tseitin-encoded).
+func Satisfiable(f Formula) (bool, error) {
+	c := sat.NewCircuit()
+	inputs := make([]sat.Gate, MaxVar(f)+1)
+	for i := 1; i < len(inputs); i++ {
+		inputs[i] = c.Input()
+	}
+	g := toCircuit(f, c, inputs)
+	cnf, err := c.ToCNF(g)
+	if err != nil {
+		return false, err
+	}
+	res, err := sat.Solve(cnf)
+	if err != nil {
+		return false, err
+	}
+	return res.SAT, nil
+}
+
+func toCircuit(f Formula, c *sat.Circuit, inputs []sat.Gate) sat.Gate {
+	switch g := f.(type) {
+	case Var:
+		return inputs[g]
+	case Const:
+		return c.Const(bool(g))
+	case Not:
+		return c.Not(toCircuit(g.F, c, inputs))
+	case And:
+		return c.And(toCircuit(g.L, c, inputs), toCircuit(g.R, c, inputs))
+	case Or:
+		return c.Or(toCircuit(g.L, c, inputs), toCircuit(g.R, c, inputs))
+	default:
+		panic(fmt.Sprintf("prop: unknown formula %T", f))
+	}
+}
+
+// SatisfiableBrute decides satisfiability by enumeration (for
+// cross-validation; MaxVar(f) ≤ 20).
+func SatisfiableBrute(f Formula) (bool, error) {
+	n := MaxVar(f)
+	if n > 20 {
+		return false, fmt.Errorf("prop: %d variables too many for brute force", n)
+	}
+	assign := make([]bool, n+1)
+	for mask := 0; mask < 1<<n; mask++ {
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if Eval(f, assign) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ToESO is the Theorem 4.5 reduction: φ is satisfiable iff
+// ∃P₁ … ∃P_l φ̂ holds in B — for *every* database B — where the Pᵢ are
+// 0-ary relation variables and φ̂ replaces each variable by its
+// proposition's atom. The output is an ESO⁰ sentence of linear size.
+func ToESO(f Formula) logic.Formula {
+	n := MaxVar(f)
+	rels := make([]logic.RelVar, n)
+	for i := 1; i <= n; i++ {
+		rels[i-1] = logic.RelVar{Name: propRel(i), Arity: 0}
+	}
+	return logic.SOExists(toLogic(f), rels...)
+}
+
+func propRel(i int) string { return fmt.Sprintf("P%d", i) }
+
+func toLogic(f Formula) logic.Formula {
+	switch g := f.(type) {
+	case Var:
+		return logic.R(propRel(int(g)))
+	case Const:
+		return logic.Truth{Value: bool(g)}
+	case Not:
+		return logic.Neg(toLogic(g.F))
+	case And:
+		return logic.Binary{Op: logic.AndOp, L: toLogic(g.L), R: toLogic(g.R)}
+	case Or:
+		return logic.Binary{Op: logic.OrOp, L: toLogic(g.L), R: toLogic(g.R)}
+	default:
+		panic(fmt.Sprintf("prop: unknown formula %T", f))
+	}
+}
+
+// Random generates a random formula over n variables with the given AST
+// depth, using the provided source (deterministic per seed).
+func Random(r *rand.Rand, n, depth int) Formula {
+	if depth == 0 || (n > 0 && r.Intn(4) == 0) {
+		if n == 0 {
+			return Const(r.Intn(2) == 0)
+		}
+		return Var(1 + r.Intn(n))
+	}
+	switch r.Intn(4) {
+	case 0:
+		return Not{F: Random(r, n, depth-1)}
+	case 1:
+		return And{L: Random(r, n, depth-1), R: Random(r, n, depth-1)}
+	case 2:
+		return Or{L: Random(r, n, depth-1), R: Random(r, n, depth-1)}
+	default:
+		if n == 0 {
+			return Const(r.Intn(2) == 0)
+		}
+		return Var(1 + r.Intn(n))
+	}
+}
+
+// RandomValue generates a random variable-free formula (a Boolean formula
+// value problem instance) of the given depth.
+func RandomValue(r *rand.Rand, depth int) Formula {
+	if depth == 0 || r.Intn(4) == 0 {
+		return Const(r.Intn(2) == 0)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Not{F: RandomValue(r, depth-1)}
+	case 1:
+		return And{L: RandomValue(r, depth-1), R: RandomValue(r, depth-1)}
+	default:
+		return Or{L: RandomValue(r, depth-1), R: RandomValue(r, depth-1)}
+	}
+}
+
+// Random3CNF generates a random 3-CNF formula with the given number of
+// variables and clauses.
+func Random3CNF(r *rand.Rand, vars, clauses int) Formula {
+	var f Formula = Const(true)
+	for i := 0; i < clauses; i++ {
+		var cl Formula = Const(false)
+		for j := 0; j < 3; j++ {
+			var lit Formula = Var(1 + r.Intn(vars))
+			if r.Intn(2) == 0 {
+				lit = Not{F: lit}
+			}
+			cl = Or{L: cl, R: lit}
+		}
+		f = And{L: f, R: cl}
+	}
+	return f
+}

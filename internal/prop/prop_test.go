@@ -1,0 +1,120 @@
+package prop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/eval/eso"
+	"repro/internal/logic"
+)
+
+func TestEvalBasics(t *testing.T) {
+	f := And{L: Var(1), R: Or{L: Not{F: Var(2)}, R: Const(false)}}
+	cases := []struct {
+		a    []bool
+		want bool
+	}{
+		{[]bool{false, true, false}, true},
+		{[]bool{false, true, true}, false},
+		{[]bool{false, false, false}, false},
+	}
+	for _, c := range cases {
+		if got := Eval(f, c.a); got != c.want {
+			t.Errorf("Eval(%s, %v) = %v, want %v", f, c.a, got, c.want)
+		}
+	}
+}
+
+func TestMaxVarAndSize(t *testing.T) {
+	f := And{L: Var(3), R: Not{F: Var(7)}}
+	if MaxVar(f) != 7 {
+		t.Fatalf("MaxVar = %d", MaxVar(f))
+	}
+	if Size(f) != 4 {
+		t.Fatalf("Size = %d", Size(f))
+	}
+	if MaxVar(Const(true)) != 0 {
+		t.Fatal("MaxVar of constant should be 0")
+	}
+}
+
+func TestSatisfiableAgreesWithBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 150; trial++ {
+		f := Random(r, 1+r.Intn(6), 4)
+		want, err := SatisfiableBrute(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Satisfiable(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Satisfiable(%s) = %v, brute = %v", f, got, want)
+		}
+	}
+}
+
+func TestRandom3CNF(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	f := Random3CNF(r, 5, 10)
+	if MaxVar(f) > 5 {
+		t.Fatalf("MaxVar = %d", MaxVar(f))
+	}
+	if _, err := Satisfiable(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomValueHasNoVars(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 50; i++ {
+		f := RandomValue(r, 5)
+		if MaxVar(f) != 0 {
+			t.Fatalf("value formula has variables: %s", f)
+		}
+		// Eval with empty assignment is total.
+		Eval(f, nil)
+	}
+}
+
+// TestToESOTheorem45 validates the Theorem 4.5 reduction on two different
+// fixed databases: φ is satisfiable iff the ESO⁰ sentence holds — in either
+// database, regardless of its contents.
+func TestToESOTheorem45(t *testing.T) {
+	db1 := database.NewBuilder().Domain(0).MustBuild()
+	db2, err := database.NewBuilder().Relation("E", 2).Add("E", 0, 1).Add("E", 1, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 40; trial++ {
+		f := Random(r, 1+r.Intn(4), 3)
+		want, err := SatisfiableBrute(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sentence := ToESO(f)
+		for _, db := range []*database.Database{db1, db2} {
+			got, _, _, err := eso.Holds(sentence, db, nil)
+			if err != nil {
+				t.Fatalf("Holds(%s): %v", sentence, err)
+			}
+			if got != want {
+				t.Fatalf("ToESO changed satisfiability of %s: got %v, want %v", f, got, want)
+			}
+		}
+	}
+}
+
+func TestToESOSizeLinear(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	f := Random3CNF(r, 6, 12)
+	sentence := ToESO(f)
+	// Linear: one logic node per prop node plus one quantifier per variable.
+	if got, bound := logic.Size(sentence), Size(f)+MaxVar(f); got > bound {
+		t.Fatalf("reduction size %d exceeds linear bound %d", got, bound)
+	}
+}

@@ -1,0 +1,285 @@
+// Package qbf implements quantified Boolean formulas, a direct solver, and
+// the Theorem 4.6 reduction showing that the expression complexity of PFPᵏ
+// is PSPACE-hard: QBF validity reduces to evaluating a two-variable
+// partial-fixpoint query over the fixed database B₀ = ({0,1}; P = {0}).
+//
+// The paper gives the idea — "a relation variable Xᵢ being empty or
+// nonempty corresponds to the Boolean variable Yᵢ being false or true; by
+// iterating through all possible assignments to the relation variables, the
+// query simulates going through all truth assignments" — and leaves the
+// construction to the reader. Ours nests one PFP² operator per quantifier,
+// over a binary marker relation Wᵢ ⊆ {0,1}² with four distinguished points:
+//
+//	m₀ = (0,0)  "false branch visited"   (also: Yᵢ reads true once present)
+//	m₁ = (1,0)  "true branch visited"
+//	r₀ = (0,1)  "false branch succeeded"
+//	r₁ = (1,1)  "true branch succeeded"
+//
+// The stage operator θᵢ always emits m₀; emits m₁ once Wᵢ is nonempty;
+// carries r-bits; and, in the transition where the next branch is being
+// visited, evaluates the rest of the formula ψ_{i+1} (which reads Yᵢ as
+// "m₀ ∈ Wᵢ") and stores the result on the branch's r-bit:
+//
+//	∅  →  {m₀} ∪ {r₀ | ψ(Yᵢ=false)}  →  {m₀,m₁} ∪ {r₀?, r₁ | ψ(Yᵢ=true)}
+//
+// after which the sequence is constant, so the partial fixpoint always
+// exists. Both r-bits have second coordinate 1 and are distinguished by the
+// first, so ∃Yᵢ reads "∃x∃y (lim(x,y) ∧ ¬P(y))" and ∀Yᵢ reads
+// "∀x∃y (lim(x,y) ∧ ¬P(y))" — one occurrence of the fixpoint each, keeping
+// the whole query linear in the number of quantifiers.
+package qbf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/prop"
+)
+
+// Quantifier is one prefix entry.
+type Quantifier struct {
+	Forall bool
+	Var    int
+}
+
+// Instance is a prenex quantified Boolean formula.
+type Instance struct {
+	Prefix []Quantifier
+	Matrix prop.Formula
+}
+
+// Validate checks that every matrix variable is quantified exactly once.
+func (in *Instance) Validate() error {
+	seen := make(map[int]bool)
+	for _, q := range in.Prefix {
+		if q.Var <= 0 {
+			return fmt.Errorf("qbf: variable %d not positive", q.Var)
+		}
+		if seen[q.Var] {
+			return fmt.Errorf("qbf: variable %d quantified twice", q.Var)
+		}
+		seen[q.Var] = true
+	}
+	var unbound func(prop.Formula) error
+	unbound = func(f prop.Formula) error {
+		switch g := f.(type) {
+		case prop.Var:
+			if !seen[int(g)] {
+				return fmt.Errorf("qbf: matrix variable %d not quantified", int(g))
+			}
+		case prop.Not:
+			return unbound(g.F)
+		case prop.And:
+			if err := unbound(g.L); err != nil {
+				return err
+			}
+			return unbound(g.R)
+		case prop.Or:
+			if err := unbound(g.L); err != nil {
+				return err
+			}
+			return unbound(g.R)
+		}
+		return nil
+	}
+	return unbound(in.Matrix)
+}
+
+// Solve decides validity by direct recursion over the prefix.
+func (in *Instance) Solve() (bool, error) {
+	if err := in.Validate(); err != nil {
+		return false, err
+	}
+	n := 0
+	for _, q := range in.Prefix {
+		if q.Var > n {
+			n = q.Var
+		}
+	}
+	if m := prop.MaxVar(in.Matrix); m > n {
+		n = m
+	}
+	assign := make([]bool, n+1)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(in.Prefix) {
+			return prop.Eval(in.Matrix, assign)
+		}
+		q := in.Prefix[i]
+		assign[q.Var] = false
+		f := rec(i + 1)
+		assign[q.Var] = true
+		t := rec(i + 1)
+		if q.Forall {
+			return f && t
+		}
+		return f || t
+	}
+	return rec(0), nil
+}
+
+func (in *Instance) String() string {
+	s := ""
+	for _, q := range in.Prefix {
+		if q.Forall {
+			s += fmt.Sprintf("∀p%d ", q.Var)
+		} else {
+			s += fmt.Sprintf("∃p%d ", q.Var)
+		}
+	}
+	return s + in.Matrix.String()
+}
+
+// FixedDatabase returns the Theorem 4.6 database B₀ = ({0,1}; P = {0}).
+// It is the same for every instance — that is the point of an
+// expression-complexity lower bound.
+func FixedDatabase() *database.Database {
+	return database.NewBuilder().
+		Domain(0, 1).
+		Relation("P", 1).
+		Add("P", 0).
+		MustBuild()
+}
+
+const (
+	vx = logic.Var("x")
+	vy = logic.Var("y")
+)
+
+// point formulas over B₀: P holds of 0 only.
+func m0At() logic.Formula { return logic.And(logic.R("P", vx), logic.R("P", vy)) }
+func m1At() logic.Formula { return logic.And(logic.Neg(logic.R("P", vx)), logic.R("P", vy)) }
+func r0At() logic.Formula {
+	return logic.And(logic.R("P", vx), logic.Neg(logic.R("P", vy)))
+}
+func r1At() logic.Formula {
+	return logic.And(logic.Neg(logic.R("P", vx)), logic.Neg(logic.R("P", vy)))
+}
+
+// has builds ∃x∃y (W(x,y) ∧ point(x,y)).
+func has(w string, point logic.Formula) logic.Formula {
+	return logic.Exists(logic.And(logic.R(w, vx, vy), point), vx, vy)
+}
+
+func nonempty(w string) logic.Formula {
+	return logic.Exists(logic.R(w, vx, vy), vx, vy)
+}
+
+// wRel names the marker relation of quantifier level i.
+func wRel(i int) string { return fmt.Sprintf("W%d", i) }
+
+// ToPFP builds the PFP² query (over FixedDatabase) that holds iff the
+// instance is valid. The query's width is 2 and its size is linear in the
+// instance.
+func ToPFP(in *Instance) (logic.Query, error) {
+	if err := in.Validate(); err != nil {
+		return logic.Query{}, err
+	}
+	body, err := levelFormula(in, 0)
+	if err != nil {
+		return logic.Query{}, err
+	}
+	return logic.NewQuery(nil, body)
+}
+
+// levelFormula builds ψ_{i+1}: the formula deciding the quantifier suffix
+// starting at prefix position i, given that the marker relations of outer
+// levels are in scope.
+func levelFormula(in *Instance, i int) (logic.Formula, error) {
+	if i == len(in.Prefix) {
+		return matrixFormula(in)
+	}
+	q := in.Prefix[i]
+	w := wRel(i)
+	inner, err := levelFormula(in, i+1)
+	if err != nil {
+		return nil, err
+	}
+	// The stage operator θ (see the package comment):
+	//   m₀(x,y)
+	// ∨ (m₁(x,y) ∧ nonempty(W))
+	// ∨ (r₀(x,y) ∧ hasR₀(W)) ∨ (r₁(x,y) ∧ hasR₁(W))          — carry
+	// ∨ (((r₀(x,y) ∧ ¬nonempty(W)) ∨ (r₁(x,y) ∧ oneBranch(W))) ∧ ψ)
+	oneBranch := logic.And(has(w, m0At()), logic.Neg(has(w, m1At())))
+	theta := logic.Or(
+		m0At(),
+		logic.And(m1At(), nonempty(w)),
+		logic.And(r0At(), has(w, r0At())),
+		logic.And(r1At(), has(w, r1At())),
+		logic.And(
+			logic.Or(
+				logic.And(r0At(), logic.Neg(nonempty(w))),
+				logic.And(r1At(), oneBranch)),
+			inner))
+	fix := logic.Pfp(w, []logic.Var{vx, vy}, theta, vx, vy)
+	// Read the answer off the limit: the r-bits are exactly the points with
+	// ¬P(y); ∃ needs one of them, ∀ needs both — and "both" is ∀x∃y.
+	if q.Forall {
+		return logic.Forall(logic.Exists(logic.And(fix, logic.Neg(logic.R("P", vy))), vy), vx), nil
+	}
+	return logic.Exists(logic.And(fix, logic.Neg(logic.R("P", vy))), vx, vy), nil
+}
+
+// matrixFormula translates the propositional matrix: variable Yᵢ reads
+// "m₀ ∈ Wᵢ" from its quantifier's marker relation.
+func matrixFormula(in *Instance) (logic.Formula, error) {
+	level := make(map[int]int, len(in.Prefix))
+	for i, q := range in.Prefix {
+		level[q.Var] = i
+	}
+	var tr func(prop.Formula) (logic.Formula, error)
+	tr = func(f prop.Formula) (logic.Formula, error) {
+		switch g := f.(type) {
+		case prop.Var:
+			li, ok := level[int(g)]
+			if !ok {
+				return nil, fmt.Errorf("qbf: matrix variable %d not quantified", int(g))
+			}
+			return has(wRel(li), m0At()), nil
+		case prop.Const:
+			return logic.Truth{Value: bool(g)}, nil
+		case prop.Not:
+			sub, err := tr(g.F)
+			if err != nil {
+				return nil, err
+			}
+			return logic.Neg(sub), nil
+		case prop.And:
+			l, err := tr(g.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr(g.R)
+			if err != nil {
+				return nil, err
+			}
+			return logic.And(l, r), nil
+		case prop.Or:
+			l, err := tr(g.L)
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr(g.R)
+			if err != nil {
+				return nil, err
+			}
+			return logic.Or(l, r), nil
+		default:
+			return nil, fmt.Errorf("qbf: unknown matrix formula %T", f)
+		}
+	}
+	return tr(in.Matrix)
+}
+
+// Random generates a random instance with l quantified variables and a
+// random matrix of the given depth.
+func Random(r *rand.Rand, l, depth int) *Instance {
+	in := &Instance{Matrix: prop.Random(r, l, depth)}
+	perm := r.Perm(l)
+	for _, v := range perm {
+		in.Prefix = append(in.Prefix, Quantifier{Forall: r.Intn(2) == 0, Var: v + 1})
+	}
+	return in
+}

@@ -1,0 +1,223 @@
+package qbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/prop"
+)
+
+func exists(v int) Quantifier { return Quantifier{Var: v} }
+func forall(v int) Quantifier { return Quantifier{Forall: true, Var: v} }
+
+func TestSolveBasics(t *testing.T) {
+	cases := []struct {
+		in   *Instance
+		want bool
+	}{
+		// ∃p1. p1
+		{&Instance{Prefix: []Quantifier{exists(1)}, Matrix: prop.Var(1)}, true},
+		// ∀p1. p1
+		{&Instance{Prefix: []Quantifier{forall(1)}, Matrix: prop.Var(1)}, false},
+		// ∀p1 ∃p2. p1 ↔ p2 (as (p1∧p2)∨(¬p1∧¬p2))
+		{&Instance{
+			Prefix: []Quantifier{forall(1), exists(2)},
+			Matrix: prop.Or{L: prop.And{L: prop.Var(1), R: prop.Var(2)},
+				R: prop.And{L: prop.Not{F: prop.Var(1)}, R: prop.Not{F: prop.Var(2)}}},
+		}, true},
+		// ∃p2 ∀p1. p1 ↔ p2
+		{&Instance{
+			Prefix: []Quantifier{exists(2), forall(1)},
+			Matrix: prop.Or{L: prop.And{L: prop.Var(1), R: prop.Var(2)},
+				R: prop.And{L: prop.Not{F: prop.Var(1)}, R: prop.Not{F: prop.Var(2)}}},
+		}, false},
+		// Constant matrices.
+		{&Instance{Matrix: prop.Const(true)}, true},
+		{&Instance{Matrix: prop.Const(false)}, false},
+	}
+	for _, c := range cases {
+		got, err := c.in.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("Solve(%s) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Instance{
+		{Prefix: []Quantifier{exists(0)}, Matrix: prop.Const(true)},
+		{Prefix: []Quantifier{exists(1), forall(1)}, Matrix: prop.Var(1)},
+		{Matrix: prop.Var(1)}, // unquantified matrix variable
+	}
+	for _, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("invalid instance accepted: %s", in)
+		}
+	}
+}
+
+func TestToPFPWidthSizeFragment(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := Random(r, 4, 3)
+	q, err := ToPFP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := q.Width(); w != 2 {
+		t.Fatalf("reduction width = %d, want 2", w)
+	}
+	if fr := logic.Classify(q.Body); fr != logic.FragPFP {
+		t.Fatalf("fragment = %v, want PFP", fr)
+	}
+	// Linear size in the number of quantifiers: compare growth.
+	sizeAt := func(l int) int {
+		in := &Instance{Matrix: prop.Const(true)}
+		for v := 1; v <= l; v++ {
+			in.Prefix = append(in.Prefix, exists(v))
+		}
+		qq, err := ToPFP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return logic.Size(qq.Body)
+	}
+	if sizeAt(6)-sizeAt(4) != sizeAt(4)-sizeAt(2) {
+		t.Fatalf("reduction size not linear: %d %d %d", sizeAt(2), sizeAt(4), sizeAt(6))
+	}
+}
+
+func TestReductionAgreesWithSolverExhaustiveSmall(t *testing.T) {
+	// All prefixes over 2 variables with several matrices.
+	db := FixedDatabase()
+	matrices := []prop.Formula{
+		prop.Var(1),
+		prop.Not{F: prop.Var(2)},
+		prop.And{L: prop.Var(1), R: prop.Var(2)},
+		prop.Or{L: prop.Var(1), R: prop.Not{F: prop.Var(2)}},
+		prop.Or{L: prop.And{L: prop.Var(1), R: prop.Var(2)},
+			R: prop.And{L: prop.Not{F: prop.Var(1)}, R: prop.Not{F: prop.Var(2)}}},
+	}
+	for _, m := range matrices {
+		for _, p1 := range []bool{false, true} {
+			for _, p2 := range []bool{false, true} {
+				for _, order := range [][2]int{{1, 2}, {2, 1}} {
+					in := &Instance{
+						Prefix: []Quantifier{
+							{Forall: p1, Var: order[0]},
+							{Forall: p2, Var: order[1]},
+						},
+						Matrix: m,
+					}
+					want, err := in.Solve()
+					if err != nil {
+						t.Fatal(err)
+					}
+					q, err := ToPFP(in)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ans, err := eval.BottomUp(q, db)
+					if err != nil {
+						t.Fatalf("BottomUp(%s): %v", in, err)
+					}
+					got := ans.Len() > 0
+					if got != want {
+						t.Fatalf("reduction wrong on %s: got %v, want %v", in, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReductionAgreesWithSolverRandom(t *testing.T) {
+	db := FixedDatabase()
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		l := 1 + r.Intn(4)
+		in := Random(r, l, 3)
+		want, err := in.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := ToPFP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ans, err := eval.BottomUp(q, db)
+		if err != nil {
+			t.Fatalf("BottomUp(%s): %v", in, err)
+		}
+		got := ans.Len() > 0
+		if got != want {
+			t.Fatalf("reduction wrong on %s: got %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestReductionUnderBothCycleModes(t *testing.T) {
+	db := FixedDatabase()
+	r := rand.New(rand.NewSource(23))
+	in := Random(r, 3, 3)
+	q, err := ToPFP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, _, err := eval.BottomUpStats(q, db, &eval.Options{PFPCycle: eval.CycleHash})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brent, _, err := eval.BottomUpStats(q, db, &eval.Options{PFPCycle: eval.CycleBrent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hash.Equal(brent) {
+		t.Fatal("cycle modes disagree on QBF reduction")
+	}
+}
+
+func TestReductionAgreesWithNaive(t *testing.T) {
+	// The trusted evaluator confirms the dense evaluator on the reduction.
+	db := FixedDatabase()
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 5; trial++ {
+		in := Random(r, 2, 2)
+		q, err := ToPFP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nv, err := eval.Naive(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bu, err := eval.BottomUp(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nv.Equal(bu) {
+			t.Fatalf("naive/bottomup disagree on %s", in)
+		}
+		want, _ := in.Solve()
+		if (nv.Len() > 0) != want {
+			t.Fatalf("naive disagrees with solver on %s", in)
+		}
+	}
+}
+
+func TestRandomInstancesQuantifyEachVarOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		in := Random(r, 5, 3)
+		if err := in.Validate(); err != nil {
+			t.Fatalf("Random produced invalid instance: %v", err)
+		}
+		if len(in.Prefix) != 5 {
+			t.Fatalf("prefix length %d", len(in.Prefix))
+		}
+	}
+}

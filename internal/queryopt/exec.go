@@ -1,0 +1,237 @@
+package queryopt
+
+import (
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// EvalNaive executes the §1 "naive approach": cross-product every atom
+// relation, select the variable equalities, project the head. Its largest
+// intermediate has arity equal to the total number of atom positions — the
+// 10-ary relation of the EMP/MGR/SCY/SAL example.
+func EvalNaive(q *CQ, db *database.Database) (*relation.Set, *Stats, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{}
+	// Product of the raw atom relations, tracking each column's variable.
+	var colVars []logic.Var
+	var acc *relation.Set
+	for _, a := range q.Atoms {
+		rel, err := db.Rel(a.Rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rel.Arity() != len(a.Vars) {
+			return nil, nil, fmt.Errorf("queryopt: atom %s arity mismatch", a.Rel)
+		}
+		if acc == nil {
+			acc = rel.Clone()
+		} else {
+			acc = acc.Product(rel)
+		}
+		colVars = append(colVars, a.Vars...)
+		st.observe(acc)
+	}
+	// Select equalities: every pair of columns carrying the same variable.
+	for i := 0; i < len(colVars); i++ {
+		for j := i + 1; j < len(colVars); j++ {
+			if colVars[i] == colVars[j] {
+				acc = acc.SelectEq(i, j)
+				st.observe(acc)
+			}
+		}
+	}
+	// Project the head (first column carrying each head variable).
+	cols := make([]int, len(q.Head))
+	for hi, v := range q.Head {
+		cols[hi] = -1
+		for ci, w := range colVars {
+			if w == v {
+				cols[hi] = ci
+				break
+			}
+		}
+		if cols[hi] < 0 {
+			return nil, nil, fmt.Errorf("queryopt: head variable %s not found", v)
+		}
+	}
+	out := acc.Project(cols)
+	st.observe(out)
+	return out, st, nil
+}
+
+// EvalYannakakis executes an acyclic query by the Yannakakis algorithm:
+// materialize each atom, run the full reducer (semijoins up then down the
+// join tree), and join bottom-up, projecting every intermediate onto the
+// node's variables plus the head variables of its subtree. No intermediate
+// exceeds that arity — acyclic joins evaluate without large intermediate
+// results, which is the paper's §1 observation.
+func EvalYannakakis(q *CQ, db *database.Database) (*relation.Set, *Stats, error) {
+	jt, err := q.BuildJoinTree()
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &Stats{}
+	n := len(q.Atoms)
+	vars := make([][]logic.Var, n)
+	rels := make([]*relation.Set, n)
+	for i, a := range q.Atoms {
+		vars[i], rels[i], err = atomRel(db, a)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.observe(rels[i])
+	}
+	shared := func(a, b int) []relation.JoinOn {
+		var on []relation.JoinOn
+		for ai, v := range vars[a] {
+			for bi, w := range vars[b] {
+				if v == w {
+					on = append(on, relation.JoinOn{Left: ai, Right: bi})
+				}
+			}
+		}
+		return on
+	}
+	// Upward semijoin pass: in ear-removal order, parent ⋉ child.
+	for _, e := range jt.Order {
+		p := jt.Parent[e]
+		if p < 0 {
+			continue
+		}
+		rels[p] = rels[p].Semijoin(rels[e], shared(p, e))
+		st.observe(rels[p])
+	}
+	// Downward pass: reverse order, child ⋉ parent.
+	for i := len(jt.Order) - 1; i >= 0; i-- {
+		e := jt.Order[i]
+		p := jt.Parent[e]
+		if p < 0 {
+			continue
+		}
+		rels[e] = rels[e].Semijoin(rels[p], shared(e, p))
+		st.observe(rels[e])
+	}
+	// Children lists.
+	children := make([][]int, n)
+	for e, p := range jt.Parent {
+		if p >= 0 {
+			children[p] = append(children[p], e)
+		}
+	}
+	head := make(map[logic.Var]bool, len(q.Head))
+	for _, v := range q.Head {
+		head[v] = true
+	}
+	// subtreeHead[i]: head variables occurring in i's subtree.
+	var subtreeHead func(i int) map[logic.Var]bool
+	memo := make([]map[logic.Var]bool, n)
+	subtreeHead = func(i int) map[logic.Var]bool {
+		if memo[i] != nil {
+			return memo[i]
+		}
+		out := make(map[logic.Var]bool)
+		for _, v := range vars[i] {
+			if head[v] {
+				out[v] = true
+			}
+		}
+		for _, c := range children[i] {
+			for v := range subtreeHead(c) {
+				out[v] = true
+			}
+		}
+		memo[i] = out
+		return out
+	}
+	// Bottom-up join with projection.
+	var solve func(i int) ([]logic.Var, *relation.Set)
+	solve = func(i int) ([]logic.Var, *relation.Set) {
+		curVars, cur := vars[i], rels[i]
+		for _, c := range children[i] {
+			cvars, crel := solve(c)
+			var on []relation.JoinOn
+			for ai, v := range curVars {
+				for bi, w := range cvars {
+					if v == w {
+						on = append(on, relation.JoinOn{Left: ai, Right: bi})
+					}
+				}
+			}
+			// Join and immediately project: a single "project-join" operator
+			// whose materialized width is the kept-variable count (duplicate
+			// join columns are never stored).
+			joined := cur.Join(crel, on)
+			// Keep: own vars ∪ head vars of the child's subtree.
+			keep := make(map[logic.Var]bool)
+			for _, v := range curVars {
+				keep[v] = true
+			}
+			for v := range subtreeHead(c) {
+				keep[v] = true
+			}
+			allVars := append(append([]logic.Var(nil), curVars...), cvars...)
+			var newVars []logic.Var
+			var cols []int
+			taken := make(map[logic.Var]bool)
+			for ci, v := range allVars {
+				if keep[v] && !taken[v] {
+					taken[v] = true
+					newVars = append(newVars, v)
+					cols = append(cols, ci)
+				}
+			}
+			cur = joined.Project(cols)
+			curVars = newVars
+			st.observe(cur)
+		}
+		return curVars, cur
+	}
+	rootVars, root := solve(jt.Root)
+	cols := make([]int, len(q.Head))
+	for hi, v := range q.Head {
+		cols[hi] = -1
+		for ci, w := range rootVars {
+			if w == v {
+				cols[hi] = ci
+			}
+		}
+		if cols[hi] < 0 {
+			return nil, nil, fmt.Errorf("queryopt: head variable %s lost during join", v)
+		}
+	}
+	out := root.Project(cols)
+	st.observe(out)
+	return out, st, nil
+}
+
+// ChainCQ builds the length-m path query
+// answer(x₀, x_m) ← E(x₀,x₁), …, E(x_{m−1},x_m).
+func ChainCQ(m int) *CQ {
+	q := &CQ{Head: []logic.Var{v(0), v(m)}}
+	for i := 0; i < m; i++ {
+		q.Atoms = append(q.Atoms, Atom{Rel: "E", Vars: []logic.Var{v(i), v(i + 1)}})
+	}
+	return q
+}
+
+func v(i int) logic.Var { return logic.Var(fmt.Sprintf("v%d", i)) }
+
+// ChainToFO3 is the §2.2 variable-minimized form of ChainCQ(m): the
+// three-variable query (x, y). φ_m(x, y) with
+// φ₁ = E(x,y), φ_{i+1} = ∃z (E(x,z) ∧ ∃x (x=z ∧ φ_i)).
+func ChainToFO3(m int) (logic.Query, error) {
+	if m < 1 {
+		return logic.Query{}, fmt.Errorf("queryopt: chain of length %d", m)
+	}
+	f := logic.Formula(logic.R("E", "x", "y"))
+	for i := 1; i < m; i++ {
+		f = logic.Exists(logic.And(logic.R("E", "x", "z"),
+			logic.Exists(logic.And(logic.Equal("x", "z"), f), "x")), "z")
+	}
+	return logic.NewQuery([]logic.Var{"x", "y"}, f)
+}

@@ -1,0 +1,290 @@
+package relation
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+)
+
+// Dense is a k-ary relation over {0,…,n−1} stored as a bit set over the nᵏ
+// points of its Space. It is the working representation of the
+// bounded-variable evaluators: every subformula of an Lᵏ query denotes one
+// Dense relation over the full variable tuple (x₁,…,x_k).
+type Dense struct {
+	sp   *Space
+	bits *bitset.Set
+}
+
+// Empty returns the empty relation of the space.
+func (sp *Space) Empty() *Dense {
+	return &Dense{sp: sp, bits: bitset.New(sp.size)}
+}
+
+// Full returns Dᵏ, the total relation of the space.
+func (sp *Space) Full() *Dense {
+	return &Dense{sp: sp, bits: bitset.Full(sp.size)}
+}
+
+// Diagonal returns the relation { t | t_i = t_j }.
+func (sp *Space) Diagonal(i, j int) *Dense {
+	sp.checkAxis(i)
+	sp.checkAxis(j)
+	d := sp.Empty()
+	for idx := 0; idx < sp.size; idx++ {
+		if sp.Coord(idx, i) == sp.Coord(idx, j) {
+			d.bits.Set(idx)
+		}
+	}
+	return d
+}
+
+// FromAtom cylindrifies a stored database relation into this space:
+// the result contains every point t of Dᵏ such that
+// (t_{args[0]}, …, t_{args[m−1]}) ∈ rel, where m is rel's arity.
+// Coordinates of t not mentioned in args are unconstrained. This is exactly
+// the denotation of an atomic formula R(x_{args[0]+1}, …) under the
+// full-width evaluation of Proposition 3.1.
+func (sp *Space) FromAtom(rel *Set, args []int) (*Dense, error) {
+	if len(args) != rel.Arity() {
+		return nil, fmt.Errorf("relation: atom has %d arguments for relation of arity %d", len(args), rel.Arity())
+	}
+	for _, a := range args {
+		if a < 0 || a >= sp.k {
+			return nil, fmt.Errorf("relation: atom argument refers to variable %d outside width %d", a, sp.k)
+		}
+	}
+	d := sp.Empty()
+	if sp.size == 0 {
+		return d, nil
+	}
+	// Free axes: those not mentioned in args.
+	mentioned := make([]bool, sp.k)
+	for _, a := range args {
+		mentioned[a] = true
+	}
+	var free []int
+	for i := 0; i < sp.k; i++ {
+		if !mentioned[i] {
+			free = append(free, i)
+		}
+	}
+	point := make(Tuple, sp.k)
+	var err error
+	rel.ForEach(func(t Tuple) {
+		if err != nil {
+			return
+		}
+		// A database tuple is consistent with the argument pattern iff equal
+		// argument variables carry equal values; assemble the base point.
+		for i := range point {
+			point[i] = 0
+		}
+		seen := make([]int, sp.k)
+		for i := range seen {
+			seen[i] = -1
+		}
+		for pos, a := range args {
+			v := t[pos]
+			if v < 0 || v >= sp.n {
+				err = fmt.Errorf("relation: stored tuple %v outside domain of size %d", t, sp.n)
+				return
+			}
+			if seen[a] >= 0 && seen[a] != v {
+				return // pattern like R(x,x) and tuple (1,2): contributes nothing
+			}
+			seen[a] = v
+			point[a] = v
+		}
+		d.setCylinder(point, free, 0)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// setCylinder sets every point that agrees with base outside the free axes.
+func (d *Dense) setCylinder(base Tuple, free []int, fi int) {
+	if fi == len(free) {
+		d.bits.Set(d.sp.Encode(base))
+		return
+	}
+	axis := free[fi]
+	for v := 0; v < d.sp.n; v++ {
+		base[axis] = v
+		d.setCylinder(base, free, fi+1)
+	}
+	base[axis] = 0
+}
+
+func (sp *Space) checkAxis(i int) {
+	if i < 0 || i >= sp.k {
+		panic(fmt.Sprintf("relation: axis %d out of range [0,%d)", i, sp.k))
+	}
+}
+
+// Space returns the relation's space.
+func (d *Dense) Space() *Space { return d.sp }
+
+// Contains reports whether the relation contains t.
+func (d *Dense) Contains(t Tuple) bool { return d.bits.Test(d.sp.Encode(t)) }
+
+// Add inserts t.
+func (d *Dense) Add(t Tuple) { d.bits.Set(d.sp.Encode(t)) }
+
+// Remove deletes t.
+func (d *Dense) Remove(t Tuple) { d.bits.Clear(d.sp.Encode(t)) }
+
+// Count returns the number of tuples in the relation.
+func (d *Dense) Count() int { return d.bits.Count() }
+
+// IsEmpty reports whether the relation has no tuples.
+func (d *Dense) IsEmpty() bool { return d.bits.None() }
+
+// Clone returns a copy.
+func (d *Dense) Clone() *Dense { return &Dense{sp: d.sp, bits: d.bits.Clone()} }
+
+// Copy overwrites d with o's contents.
+func (d *Dense) Copy(o *Dense) {
+	d.mustMatch(o)
+	d.bits.Copy(o.bits)
+}
+
+func (d *Dense) mustMatch(o *Dense) {
+	if !d.sp.SameShape(o.sp) {
+		panic(fmt.Sprintf("relation: shape mismatch %d^%d vs %d^%d", d.sp.n, d.sp.k, o.sp.n, o.sp.k))
+	}
+}
+
+// UnionWith sets d to d ∪ o.
+func (d *Dense) UnionWith(o *Dense) {
+	d.mustMatch(o)
+	d.bits.Or(o.bits)
+}
+
+// IntersectWith sets d to d ∩ o.
+func (d *Dense) IntersectWith(o *Dense) {
+	d.mustMatch(o)
+	d.bits.And(o.bits)
+}
+
+// DifferenceWith sets d to d \ o.
+func (d *Dense) DifferenceWith(o *Dense) {
+	d.mustMatch(o)
+	d.bits.AndNot(o.bits)
+}
+
+// Complement complements d with respect to Dᵏ, in place.
+func (d *Dense) Complement() { d.bits.Not() }
+
+// Equal reports whether d and o contain the same tuples.
+func (d *Dense) Equal(o *Dense) bool { return d.sp.SameShape(o.sp) && d.bits.Equal(o.bits) }
+
+// SubsetOf reports whether d ⊆ o.
+func (d *Dense) SubsetOf(o *Dense) bool {
+	d.mustMatch(o)
+	return d.bits.SubsetOf(o.bits)
+}
+
+// Hash returns a content hash, usable for cycle detection over relation
+// sequences (the PFP evaluator's convergence test).
+func (d *Dense) Hash() uint64 { return d.bits.Hash() }
+
+// ExistsAxis returns { t | ∃v. t[i←v] ∈ d }: the denotation of ∃x_{i+1} φ
+// under full-width evaluation. The result is cylindric in axis i.
+func (d *Dense) ExistsAxis(i int) *Dense {
+	d.sp.checkAxis(i)
+	res := d.sp.Empty()
+	if d.sp.size == 0 || d.sp.n == 0 {
+		return res
+	}
+	stride := d.sp.stride[i]
+	seen := bitset.New(d.sp.size)
+	d.bits.ForEach(func(idx int) {
+		base := idx - d.sp.Coord(idx, i)*stride
+		if seen.Test(base) {
+			return
+		}
+		seen.Set(base)
+		for v := 0; v < d.sp.n; v++ {
+			res.bits.Set(base + v*stride)
+		}
+	})
+	return res
+}
+
+// ForallAxis returns { t | ∀v. t[i←v] ∈ d }: the denotation of ∀x_{i+1} φ.
+// The result is cylindric in axis i.
+func (d *Dense) ForallAxis(i int) *Dense {
+	// ∀ = ¬∃¬, computed directly to avoid two complements.
+	d.sp.checkAxis(i)
+	res := d.sp.Empty()
+	if d.sp.size == 0 || d.sp.n == 0 {
+		return res
+	}
+	stride := d.sp.stride[i]
+	seen := bitset.New(d.sp.size)
+	d.bits.ForEach(func(idx int) {
+		base := idx - d.sp.Coord(idx, i)*stride
+		if seen.Test(base) {
+			return
+		}
+		seen.Set(base)
+		all := true
+		for v := 0; v < d.sp.n; v++ {
+			if !d.bits.Test(base + v*stride) {
+				all = false
+				break
+			}
+		}
+		if all {
+			for v := 0; v < d.sp.n; v++ {
+				res.bits.Set(base + v*stride)
+			}
+		}
+	})
+	return res
+}
+
+// Project returns the sparse set { (t_{cols[0]}, …, t_{cols[m−1]}) | t ∈ d },
+// deduplicated. It extracts a query answer from a full-width relation.
+func (d *Dense) Project(cols []int) *Set {
+	for _, c := range cols {
+		d.sp.checkAxis(c)
+	}
+	out := NewSet(len(cols))
+	t := make(Tuple, d.sp.k)
+	row := make(Tuple, len(cols))
+	d.bits.ForEach(func(idx int) {
+		d.sp.Decode(idx, t)
+		for i, c := range cols {
+			row[i] = t[c]
+		}
+		out.Add(row.Clone())
+	})
+	return out
+}
+
+// ToSet converts the dense relation to a sparse tuple set of the same arity.
+func (d *Dense) ToSet() *Set {
+	out := NewSet(d.sp.k)
+	t := make(Tuple, d.sp.k)
+	d.bits.ForEach(func(idx int) {
+		d.sp.Decode(idx, t)
+		out.Add(t.Clone())
+	})
+	return out
+}
+
+// ForEach calls fn on every tuple, in index order. The tuple is reused
+// between calls; clone it to retain it.
+func (d *Dense) ForEach(fn func(Tuple)) {
+	t := make(Tuple, d.sp.k)
+	d.bits.ForEach(func(idx int) {
+		d.sp.Decode(idx, t)
+		fn(t)
+	})
+}
+
+// String renders the relation as a sorted tuple list.
+func (d *Dense) String() string { return d.ToSet().String() }

@@ -1,0 +1,338 @@
+package relation
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Set is a sparse relation: a set of tuples of one fixed arity over an
+// unbounded integer domain. Sets store database relations, query answers,
+// and back the classical relational-algebra operators.
+type Set struct {
+	arity int
+	m     map[string]Tuple
+}
+
+// NewSet returns an empty set of the given arity.
+func NewSet(arity int) *Set {
+	if arity < 0 {
+		panic(fmt.Sprintf("relation: negative arity %d", arity))
+	}
+	return &Set{arity: arity, m: make(map[string]Tuple)}
+}
+
+// SetOf builds a set from tuples. All tuples must share the given arity.
+func SetOf(arity int, tuples ...Tuple) *Set {
+	s := NewSet(arity)
+	for _, t := range tuples {
+		s.Add(t)
+	}
+	return s
+}
+
+func tupleKey(t Tuple) string {
+	var b strings.Builder
+	b.Grow(len(t) * 4)
+	for _, v := range t {
+		b.WriteByte(byte(v >> 24))
+		b.WriteByte(byte(v >> 16))
+		b.WriteByte(byte(v >> 8))
+		b.WriteByte(byte(v))
+	}
+	return b.String()
+}
+
+// Arity returns the arity of the set's tuples.
+func (s *Set) Arity() int { return s.arity }
+
+// Len returns the number of tuples.
+func (s *Set) Len() int { return len(s.m) }
+
+// Add inserts a copy of t. It panics on arity mismatch (programmer error).
+func (s *Set) Add(t Tuple) {
+	if len(t) != s.arity {
+		panic(fmt.Sprintf("relation: adding %d-tuple to set of arity %d", len(t), s.arity))
+	}
+	k := tupleKey(t)
+	if _, ok := s.m[k]; !ok {
+		s.m[k] = t.Clone()
+	}
+}
+
+// Remove deletes t if present.
+func (s *Set) Remove(t Tuple) { delete(s.m, tupleKey(t)) }
+
+// Contains reports whether t is in the set.
+func (s *Set) Contains(t Tuple) bool {
+	if len(t) != s.arity {
+		return false
+	}
+	_, ok := s.m[tupleKey(t)]
+	return ok
+}
+
+// ForEach calls fn on every tuple, in unspecified order. The callback must
+// not mutate the tuple.
+func (s *Set) ForEach(fn func(Tuple)) {
+	for _, t := range s.m {
+		fn(t)
+	}
+}
+
+// Tuples returns the tuples in canonical sorted order.
+func (s *Set) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(s.m))
+	for _, t := range s.m {
+		out = append(out, t)
+	}
+	SortTuples(out)
+	return out
+}
+
+// Clone returns a copy of s.
+func (s *Set) Clone() *Set {
+	c := NewSet(s.arity)
+	for k, t := range s.m {
+		c.m[k] = t
+	}
+	return c
+}
+
+// Equal reports whether s and o contain the same tuples.
+func (s *Set) Equal(o *Set) bool {
+	if s.arity != o.arity || len(s.m) != len(o.m) {
+		return false
+	}
+	for k := range s.m {
+		if _, ok := o.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports whether every tuple of s is in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	if s.arity != o.arity {
+		return false
+	}
+	for k := range s.m {
+		if _, ok := o.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns s ∪ o.
+func (s *Set) Union(o *Set) *Set {
+	s.mustMatch(o)
+	out := s.Clone()
+	for k, t := range o.m {
+		out.m[k] = t
+	}
+	return out
+}
+
+// Intersect returns s ∩ o.
+func (s *Set) Intersect(o *Set) *Set {
+	s.mustMatch(o)
+	out := NewSet(s.arity)
+	for k, t := range s.m {
+		if _, ok := o.m[k]; ok {
+			out.m[k] = t
+		}
+	}
+	return out
+}
+
+// Difference returns s \ o.
+func (s *Set) Difference(o *Set) *Set {
+	s.mustMatch(o)
+	out := NewSet(s.arity)
+	for k, t := range s.m {
+		if _, ok := o.m[k]; !ok {
+			out.m[k] = t
+		}
+	}
+	return out
+}
+
+func (s *Set) mustMatch(o *Set) {
+	if s.arity != o.arity {
+		panic(fmt.Sprintf("relation: arity mismatch %d vs %d", s.arity, o.arity))
+	}
+}
+
+// Project returns { (t_{cols[0]}, …) | t ∈ s }, deduplicated.
+func (s *Set) Project(cols []int) *Set {
+	for _, c := range cols {
+		if c < 0 || c >= s.arity {
+			panic(fmt.Sprintf("relation: projection column %d out of arity %d", c, s.arity))
+		}
+	}
+	out := NewSet(len(cols))
+	row := make(Tuple, len(cols))
+	for _, t := range s.m {
+		for i, c := range cols {
+			row[i] = t[c]
+		}
+		out.Add(row)
+	}
+	return out
+}
+
+// Product returns the cross product s × o: tuples are concatenations.
+func (s *Set) Product(o *Set) *Set {
+	out := NewSet(s.arity + o.arity)
+	row := make(Tuple, s.arity+o.arity)
+	for _, a := range s.m {
+		copy(row, a)
+		for _, b := range o.m {
+			copy(row[s.arity:], b)
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// SelectEq returns { t ∈ s | t_i = t_j }.
+func (s *Set) SelectEq(i, j int) *Set {
+	if i < 0 || i >= s.arity || j < 0 || j >= s.arity {
+		panic(fmt.Sprintf("relation: selection columns (%d,%d) out of arity %d", i, j, s.arity))
+	}
+	out := NewSet(s.arity)
+	for k, t := range s.m {
+		if t[i] == t[j] {
+			out.m[k] = t
+		}
+	}
+	return out
+}
+
+// SelectConst returns { t ∈ s | t_i = v }.
+func (s *Set) SelectConst(i, v int) *Set {
+	if i < 0 || i >= s.arity {
+		panic(fmt.Sprintf("relation: selection column %d out of arity %d", i, s.arity))
+	}
+	out := NewSet(s.arity)
+	for k, t := range s.m {
+		if t[i] == v {
+			out.m[k] = t
+		}
+	}
+	return out
+}
+
+// JoinOn is one equality condition of an equijoin: left column = right column.
+type JoinOn struct {
+	Left, Right int
+}
+
+// Join returns the equijoin of s and o under the given conditions; result
+// tuples are the concatenation of the matching left and right tuples.
+// It hash-partitions the smaller operand on the join key.
+func (s *Set) Join(o *Set, on []JoinOn) *Set {
+	for _, c := range on {
+		if c.Left < 0 || c.Left >= s.arity || c.Right < 0 || c.Right >= o.arity {
+			panic(fmt.Sprintf("relation: join condition %+v out of arities (%d,%d)", c, s.arity, o.arity))
+		}
+	}
+	out := NewSet(s.arity + o.arity)
+	// Build a hash index of o keyed by its join columns.
+	idx := make(map[string][]Tuple)
+	key := make(Tuple, len(on))
+	for _, b := range o.m {
+		for i, c := range on {
+			key[i] = b[c.Right]
+		}
+		k := tupleKey(key)
+		idx[k] = append(idx[k], b)
+	}
+	row := make(Tuple, s.arity+o.arity)
+	for _, a := range s.m {
+		for i, c := range on {
+			key[i] = a[c.Left]
+		}
+		for _, b := range idx[tupleKey(key)] {
+			copy(row, a)
+			copy(row[s.arity:], b)
+			out.Add(row)
+		}
+	}
+	return out
+}
+
+// Semijoin returns { t ∈ s | ∃u ∈ o matching t under the conditions }.
+// It is the workhorse of the Yannakakis acyclic-join algorithm.
+func (s *Set) Semijoin(o *Set, on []JoinOn) *Set {
+	for _, c := range on {
+		if c.Left < 0 || c.Left >= s.arity || c.Right < 0 || c.Right >= o.arity {
+			panic(fmt.Sprintf("relation: semijoin condition %+v out of arities (%d,%d)", c, s.arity, o.arity))
+		}
+	}
+	keys := make(map[string]bool)
+	key := make(Tuple, len(on))
+	for _, b := range o.m {
+		for i, c := range on {
+			key[i] = b[c.Right]
+		}
+		keys[tupleKey(key)] = true
+	}
+	out := NewSet(s.arity)
+	for k, a := range s.m {
+		for i, c := range on {
+			key[i] = a[c.Left]
+		}
+		if keys[tupleKey(key)] {
+			out.m[k] = a
+		}
+	}
+	return out
+}
+
+// ToDense converts the set into the dense representation in the given space.
+// Every tuple must lie inside the space's domain.
+func (s *Set) ToDense(sp *Space) (*Dense, error) {
+	if s.arity != sp.Arity() {
+		return nil, fmt.Errorf("relation: converting arity-%d set into space of arity %d", s.arity, sp.Arity())
+	}
+	d := sp.Empty()
+	for _, t := range s.m {
+		for _, v := range t {
+			if v < 0 || v >= sp.Domain() {
+				return nil, fmt.Errorf("relation: tuple %v outside domain of size %d", t, sp.Domain())
+			}
+		}
+		d.Add(t)
+	}
+	return d, nil
+}
+
+// MaxElement returns the largest domain element mentioned in the set, or −1
+// if the set is empty or 0-ary.
+func (s *Set) MaxElement() int {
+	max := -1
+	for _, t := range s.m {
+		for _, v := range t {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return max
+}
+
+// String renders the set as a sorted tuple list, e.g. "{(0, 1), (2, 3)}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range s.Tuples() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

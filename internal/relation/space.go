@@ -1,0 +1,119 @@
+package relation
+
+import (
+	"fmt"
+)
+
+// MaxDenseBits bounds the size of a single dense relation. A Space whose nᵏ
+// exceeds this limit is rejected at construction time, so the evaluators fail
+// fast with a typed error instead of attempting a pathological allocation.
+const MaxDenseBits = 1 << 30
+
+// Space is a validated (arity, domain-size) shape for dense relations.
+// All Dense relations of one Space share its tuple codec: a tuple
+// (t₀, …, t_{k−1}) is encoded as Σ tᵢ·n^{k−1−i} (row-major, first coordinate
+// most significant).
+type Space struct {
+	k      int
+	n      int
+	size   int
+	stride []int
+}
+
+// NewSpace returns the space of k-ary relations over a domain of n elements.
+// It fails if k or n is negative, or if nᵏ exceeds MaxDenseBits.
+func NewSpace(k, n int) (*Space, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("relation: negative arity %d", k)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("relation: negative domain size %d", n)
+	}
+	size := 1
+	for i := 0; i < k; i++ {
+		if n == 0 {
+			size = 0
+			break
+		}
+		if size > MaxDenseBits/n {
+			return nil, fmt.Errorf("relation: dense space %d^%d exceeds %d bits", n, k, MaxDenseBits)
+		}
+		size *= n
+	}
+	sp := &Space{k: k, n: n, size: size, stride: make([]int, k)}
+	s := 1
+	for i := k - 1; i >= 0; i-- {
+		sp.stride[i] = s
+		if n > 0 {
+			s *= n
+		}
+	}
+	return sp, nil
+}
+
+// MustSpace is NewSpace for callers with statically valid shapes; it panics
+// on error.
+func MustSpace(k, n int) *Space {
+	sp, err := NewSpace(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// Arity returns k.
+func (sp *Space) Arity() int { return sp.k }
+
+// Domain returns n, the number of domain elements.
+func (sp *Space) Domain() int { return sp.n }
+
+// Size returns nᵏ, the number of points in the space.
+func (sp *Space) Size() int { return sp.size }
+
+// Stride returns the index stride of coordinate axis i.
+func (sp *Space) Stride(i int) int { return sp.stride[i] }
+
+// Encode maps a tuple to its index. It panics if the tuple has the wrong
+// length or a component outside the domain (programmer error).
+func (sp *Space) Encode(t Tuple) int {
+	if len(t) != sp.k {
+		panic(fmt.Sprintf("relation: encoding %d-tuple in space of arity %d", len(t), sp.k))
+	}
+	idx := 0
+	for i, v := range t {
+		if v < 0 || v >= sp.n {
+			panic(fmt.Sprintf("relation: component %d out of domain [0,%d)", v, sp.n))
+		}
+		idx += v * sp.stride[i]
+	}
+	return idx
+}
+
+// Decode writes the tuple with index idx into dst (which must have length k)
+// and returns it. If dst is nil a new tuple is allocated.
+func (sp *Space) Decode(idx int, dst Tuple) Tuple {
+	if idx < 0 || idx >= sp.size {
+		panic(fmt.Sprintf("relation: index %d out of space of size %d", idx, sp.size))
+	}
+	if dst == nil {
+		dst = make(Tuple, sp.k)
+	}
+	if len(dst) != sp.k {
+		panic(fmt.Sprintf("relation: decode destination has length %d, want %d", len(dst), sp.k))
+	}
+	for i := 0; i < sp.k; i++ {
+		dst[i] = (idx / sp.stride[i]) % sp.n
+	}
+	return dst
+}
+
+// Coord returns coordinate i of the point with index idx without decoding the
+// whole tuple.
+func (sp *Space) Coord(idx, i int) int {
+	return (idx / sp.stride[i]) % sp.n
+}
+
+// SameShape reports whether two spaces have identical arity and domain.
+func (sp *Space) SameShape(other *Space) bool {
+	return sp.k == other.k && sp.n == other.n
+}

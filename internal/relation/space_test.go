@@ -1,0 +1,119 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpaceValidation(t *testing.T) {
+	if _, err := NewSpace(-1, 3); err == nil {
+		t.Fatal("negative arity accepted")
+	}
+	if _, err := NewSpace(2, -1); err == nil {
+		t.Fatal("negative domain accepted")
+	}
+	if _, err := NewSpace(64, 1000); err == nil {
+		t.Fatal("overflowing space accepted")
+	}
+	sp, err := NewSpace(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Size() != 125 || sp.Arity() != 3 || sp.Domain() != 5 {
+		t.Fatalf("space dims wrong: %+v", sp)
+	}
+}
+
+func TestZeroArySpace(t *testing.T) {
+	sp := MustSpace(0, 7)
+	if sp.Size() != 1 {
+		t.Fatalf("0-ary space has size %d, want 1", sp.Size())
+	}
+	if sp.Encode(Tuple{}) != 0 {
+		t.Fatal("empty tuple encodes nonzero")
+	}
+	d := sp.Empty()
+	if d.Contains(Tuple{}) {
+		t.Fatal("empty 0-ary relation contains ()")
+	}
+	d.Add(Tuple{})
+	if !d.Contains(Tuple{}) {
+		t.Fatal("0-ary relation missing () after add")
+	}
+	if d.Count() != 1 {
+		t.Fatalf("0-ary count = %d", d.Count())
+	}
+}
+
+func TestEmptyDomainSpace(t *testing.T) {
+	sp := MustSpace(2, 0)
+	if sp.Size() != 0 {
+		t.Fatalf("size = %d, want 0", sp.Size())
+	}
+	if sp.Full().Count() != 0 {
+		t.Fatal("Full over empty domain nonempty")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	sp := MustSpace(3, 4)
+	seen := make(map[int]bool)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 4; c++ {
+				tp := Tuple{a, b, c}
+				idx := sp.Encode(tp)
+				if idx < 0 || idx >= sp.Size() {
+					t.Fatalf("index %d out of range for %v", idx, tp)
+				}
+				if seen[idx] {
+					t.Fatalf("index collision at %v", tp)
+				}
+				seen[idx] = true
+				if got := sp.Decode(idx, nil); !got.Equal(tp) {
+					t.Fatalf("Decode(Encode(%v)) = %v", tp, got)
+				}
+				for i := 0; i < 3; i++ {
+					if sp.Coord(idx, i) != tp[i] {
+						t.Fatalf("Coord(%d,%d) = %d, want %d", idx, i, sp.Coord(idx, i), tp[i])
+					}
+				}
+			}
+		}
+	}
+	if len(seen) != 64 {
+		t.Fatalf("codec covered %d indices, want 64", len(seen))
+	}
+}
+
+func TestQuickEncodeDecode(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := r.Intn(5)
+		n := r.Intn(6) + 1
+		sp := MustSpace(k, n)
+		tp := make(Tuple, k)
+		for i := range tp {
+			tp[i] = r.Intn(n)
+		}
+		return sp.Decode(sp.Encode(tp), nil).Equal(tp)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodePanics(t *testing.T) {
+	sp := MustSpace(2, 3)
+	for _, bad := range []Tuple{{0}, {0, 3}, {-1, 0}, {0, 1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Encode(%v) did not panic", bad)
+				}
+			}()
+			sp.Encode(bad)
+		}()
+	}
+}

@@ -1,0 +1,81 @@
+// Package relation implements k-ary relations over a finite domain
+// {0, …, n−1}, in two representations:
+//
+//   - Dense: a bit set over the nᵏ points of Dᵏ, addressed through a Space
+//     (a validated (k, n) shape with a mixed-radix tuple codec). Dense
+//     relations are the intermediate results of bounded-variable query
+//     evaluation: every logical connective maps to a word-parallel bit
+//     operation, and existential quantification to an OR-fold along one
+//     coordinate axis.
+//
+//   - Set: a sparse tuple set of arbitrary arity, used for database storage,
+//     query answers, and the classical relational-algebra operations
+//     (projection, product, selection, equijoin, semijoin).
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is a point of Dᵏ: a sequence of domain elements.
+type Tuple []int
+
+// Clone returns a copy of t.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports whether t and u have the same length and components.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if t[i] != u[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples first by length, then lexicographically.
+func (t Tuple) Compare(u Tuple) int {
+	if len(t) != len(u) {
+		if len(t) < len(u) {
+			return -1
+		}
+		return 1
+	}
+	for i := range t {
+		switch {
+		case t[i] < u[i]:
+			return -1
+		case t[i] > u[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// String renders the tuple as "(a, b, c)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// SortTuples sorts ts in place into the canonical Compare order.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

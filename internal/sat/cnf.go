@@ -1,0 +1,132 @@
+// Package sat is a self-contained propositional satisfiability engine:
+// CNF formulas, a CDCL solver (watched literals, first-UIP clause learning,
+// VSIDS-style activities, Luby restarts), and a Tseitin transformation from
+// Boolean circuits.
+//
+// In this repository it plays two roles from Vardi (PODS 1995):
+//
+//   - The ESOᵏ evaluator (§3.3 / Lemma 3.6) grounds the reduced formula over
+//     the database domain and solves the resulting circuit — the "guess the
+//     polynomial-size quantified relations" NP algorithm made executable.
+//   - Theorem 4.5's expression-complexity lower bound reduces propositional
+//     satisfiability to ESOᵏ over any fixed database; the direct solver here
+//     is the baseline the reduction is validated against.
+package sat
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Lit is a literal: +v for variable v, −v for its negation. Variables are
+// numbered from 1. 0 is not a valid literal.
+type Lit int
+
+// Var returns the literal's variable.
+func (l Lit) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Neg returns the complementary literal.
+func (l Lit) Neg() Lit { return -l }
+
+// Sign reports whether the literal is positive.
+func (l Lit) Sign() bool { return l > 0 }
+
+// Clause is a disjunction of literals.
+type Clause []Lit
+
+func (c Clause) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = fmt.Sprintf("%d", int(l))
+	}
+	return "(" + strings.Join(parts, " ∨ ") + ")"
+}
+
+// CNF is a conjunction of clauses over variables 1..NumVars.
+type CNF struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewCNF returns an empty formula over n variables.
+func NewCNF(n int) *CNF {
+	return &CNF{NumVars: n}
+}
+
+// AddVar allocates a fresh variable and returns it.
+func (f *CNF) AddVar() int {
+	f.NumVars++
+	return f.NumVars
+}
+
+// Add appends a clause. Tautological clauses (containing l and ¬l) are
+// dropped; duplicate literals are removed. It returns an error if a literal
+// mentions an unallocated variable.
+func (f *CNF) Add(lits ...Lit) error {
+	seen := make(map[Lit]bool, len(lits))
+	out := make(Clause, 0, len(lits))
+	for _, l := range lits {
+		if l == 0 {
+			return fmt.Errorf("sat: zero literal")
+		}
+		if l.Var() > f.NumVars {
+			return fmt.Errorf("sat: literal %d beyond %d variables", l, f.NumVars)
+		}
+		if seen[l.Neg()] {
+			return nil // tautology
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	f.Clauses = append(f.Clauses, out)
+	return nil
+}
+
+// MustAdd is Add that panics on error, for statically valid clauses.
+func (f *CNF) MustAdd(lits ...Lit) {
+	if err := f.Add(lits...); err != nil {
+		panic(err)
+	}
+}
+
+// Eval reports whether the assignment (indexed by variable, index 0 unused)
+// satisfies the formula.
+func (f *CNF) Eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		sat := false
+		for _, l := range c {
+			if l.Var() < len(assign) && assign[l.Var()] == l.Sign() {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the formula in a DIMACS-like layout.
+func (f *CNF) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "p cnf %d %d\n", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		lits := make([]string, len(c))
+		for i, l := range c {
+			lits[i] = fmt.Sprintf("%d", int(l))
+		}
+		sort.Strings(lits)
+		b.WriteString(strings.Join(lits, " "))
+		b.WriteString(" 0\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF in the standard DIMACS format:
+//
+//	c a comment
+//	p cnf <vars> <clauses>
+//	1 -2 3 0
+//	…
+//
+// Clauses may span lines; each ends with 0. The declared clause count is
+// checked against the clauses read.
+func ParseDIMACS(r io.Reader) (*CNF, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var f *CNF
+	declared := -1
+	var cur []Lit
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			if f != nil {
+				return nil, fmt.Errorf("sat: duplicate problem line")
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: malformed problem line %q", line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("sat: bad variable count %q", fields[2])
+			}
+			nc, err := strconv.Atoi(fields[3])
+			if err != nil || nc < 0 {
+				return nil, fmt.Errorf("sat: bad clause count %q", fields[3])
+			}
+			f = NewCNF(nv)
+			declared = nc
+			continue
+		}
+		if f == nil {
+			return nil, fmt.Errorf("sat: clause before problem line: %q", line)
+		}
+		for _, tok := range strings.Fields(line) {
+			v, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: bad literal %q", tok)
+			}
+			if v == 0 {
+				if err := f.Add(cur...); err != nil {
+					return nil, err
+				}
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, Lit(v))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("sat: missing problem line")
+	}
+	if len(cur) > 0 {
+		return nil, fmt.Errorf("sat: unterminated clause")
+	}
+	// Tautologies are dropped by Add, so allow fewer clauses than declared,
+	// but never more.
+	if len(f.Clauses) > declared {
+		return nil, fmt.Errorf("sat: %d clauses read, %d declared", len(f.Clauses), declared)
+	}
+	return f, nil
+}
+
+// WriteDIMACS renders the formula in DIMACS format.
+func (f *CNF) WriteDIMACS(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(w, "%d ", int(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "0"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package sat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestParseDIMACSBasic(t *testing.T) {
+	in := `
+c an example
+p cnf 3 3
+1 -2 0
+2 3 0
+-1 0
+`
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 3 {
+		t.Fatalf("parsed %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	res, err := Solve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SAT {
+		t.Fatal("instance should be SAT (x1=false, x2=?, x3=true)")
+	}
+	if !f.Eval(res.Model) {
+		t.Fatal("model does not satisfy instance")
+	}
+}
+
+func TestParseDIMACSMultilineClause(t *testing.T) {
+	in := "p cnf 2 1\n1\n2 0\n"
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 2 {
+		t.Fatalf("clauses = %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 2 0",                    // clause before header
+		"p cnf x 1\n1 0",           // bad var count
+		"p cnf 2 -1\n1 0",          // bad clause count
+		"p dnf 2 1\n1 0",           // wrong format tag
+		"p cnf 2 1\n1 z 0",         // bad literal
+		"p cnf 2 1\n1 2",           // unterminated clause
+		"p cnf 2 1\n3 0",           // literal beyond declared vars
+		"p cnf 2 1\n1 0\n2 0",      // more clauses than declared
+		"p cnf 2 1\np cnf 2 1\n10", // duplicate header
+	}
+	for _, s := range bad {
+		if _, err := ParseDIMACS(strings.NewReader(s)); err == nil {
+			t.Errorf("ParseDIMACS(%q) succeeded", s)
+		}
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(8)
+		f := NewCNF(n)
+		for i := 0; i < 3*n; i++ {
+			var lits []Lit
+			for j := 0; j < 1+r.Intn(3); j++ {
+				l := Lit(1 + r.Intn(n))
+				if r.Intn(2) == 0 {
+					l = l.Neg()
+				}
+				lits = append(lits, l)
+			}
+			f.MustAdd(lits...)
+		}
+		var sb strings.Builder
+		if err := f.WriteDIMACS(&sb); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseDIMACS(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip parse: %v\n%s", err, sb.String())
+		}
+		a, err := Solve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Solve(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SAT != b.SAT {
+			t.Fatalf("round trip changed satisfiability")
+		}
+	}
+}

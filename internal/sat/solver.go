@@ -1,0 +1,362 @@
+package sat
+
+import (
+	"fmt"
+)
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	SAT bool
+	// Model is the satisfying assignment when SAT (indexed by variable,
+	// index 0 unused).
+	Model []bool
+	// Conflicts and Decisions report solver work.
+	Conflicts int
+	Decisions int
+}
+
+// Solve decides satisfiability of f with a CDCL search.
+func Solve(f *CNF) (*Result, error) {
+	s, unsat, err := newSolver(f)
+	if err != nil {
+		return nil, err
+	}
+	if unsat {
+		return &Result{SAT: false}, nil
+	}
+	return s.solve()
+}
+
+const (
+	unassigned int8 = iota
+	assignedTrue
+	assignedFalse
+)
+
+type watcher struct {
+	clause  int // index into clauses
+	blocker Lit
+}
+
+type solver struct {
+	nVars   int
+	clauses []Clause // original + learned
+	nOrig   int
+
+	assign   []int8 // by variable
+	level    []int  // decision level of assignment, by variable
+	reason   []int  // clause index that implied the assignment, −1 for decisions
+	trail    []Lit
+	trailLim []int // trail length at each decision level
+
+	watches map[Lit][]watcher
+
+	activity []float64
+	varInc   float64
+	polarity []bool // phase saving
+
+	qhead     int
+	conflicts int
+	decisions int
+}
+
+func newSolver(f *CNF) (*solver, bool, error) {
+	s := &solver{
+		nVars:    f.NumVars,
+		assign:   make([]int8, f.NumVars+1),
+		level:    make([]int, f.NumVars+1),
+		reason:   make([]int, f.NumVars+1),
+		activity: make([]float64, f.NumVars+1),
+		polarity: make([]bool, f.NumVars+1),
+		watches:  make(map[Lit][]watcher),
+		varInc:   1,
+	}
+	for i := range s.reason {
+		s.reason[i] = -1
+	}
+	for _, c := range f.Clauses {
+		cc := make(Clause, len(c))
+		copy(cc, c)
+		if err := s.addClause(cc); err != nil {
+			if err == errUnsat {
+				return nil, true, nil
+			}
+			return nil, false, err
+		}
+	}
+	s.nOrig = len(s.clauses)
+	return s, false, nil
+}
+
+// errUnsat is an internal sentinel: the instance is unsatisfiable at level 0.
+var errUnsat = fmt.Errorf("sat: unsatisfiable at root")
+
+func (s *solver) addClause(c Clause) error {
+	switch len(c) {
+	case 0:
+		return errUnsat
+	case 1:
+		if !s.enqueue(c[0], -1) {
+			return errUnsat
+		}
+		return nil
+	}
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watch(c[0], idx, c[1])
+	s.watch(c[1], idx, c[0])
+	return nil
+}
+
+func (s *solver) watch(l Lit, clause int, blocker Lit) {
+	s.watches[l.Neg()] = append(s.watches[l.Neg()], watcher{clause: clause, blocker: blocker})
+}
+
+func (s *solver) value(l Lit) int8 {
+	a := s.assign[l.Var()]
+	if a == unassigned {
+		return unassigned
+	}
+	if (a == assignedTrue) == l.Sign() {
+		return assignedTrue
+	}
+	return assignedFalse
+}
+
+func (s *solver) enqueue(l Lit, reason int) bool {
+	switch s.value(l) {
+	case assignedTrue:
+		return true
+	case assignedFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Sign() {
+		s.assign[v] = assignedTrue
+	} else {
+		s.assign[v] = assignedFalse
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate performs unit propagation; it returns the index of a conflicting
+// clause, or −1.
+func (s *solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		ws := s.watches[l]
+		kept := ws[:0]
+		for wi := 0; wi < len(ws); wi++ {
+			w := ws[wi]
+			if s.value(w.blocker) == assignedTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := s.clauses[w.clause]
+			// Normalize: the false literal (¬l) at position 1.
+			if c[0] == l.Neg() {
+				c[0], c[1] = c[1], c[0]
+			}
+			if s.value(c[0]) == assignedTrue {
+				kept = append(kept, watcher{clause: w.clause, blocker: c[0]})
+				continue
+			}
+			// Find a new literal to watch.
+			moved := false
+			for i := 2; i < len(c); i++ {
+				if s.value(c[i]) != assignedFalse {
+					c[1], c[i] = c[i], c[1]
+					s.watch(c[1], w.clause, c[0])
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{clause: w.clause, blocker: c[0]})
+			if !s.enqueue(c[0], w.clause) {
+				// Conflict: keep the remaining watchers and report.
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[l] = kept
+				return w.clause
+			}
+		}
+		s.watches[l] = kept
+	}
+	return -1
+}
+
+// analyze performs first-UIP conflict analysis; it returns the learned
+// clause (with the asserting literal first) and the backjump level.
+func (s *solver) analyze(confl int) (Clause, int) {
+	learned := Clause{0} // slot 0 for the asserting literal
+	seen := make([]bool, s.nVars+1)
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+
+	reasonLits := func(clause int, skip Lit) []Lit {
+		c := s.clauses[clause]
+		out := make([]Lit, 0, len(c))
+		for _, q := range c {
+			if q != skip {
+				out = append(out, q)
+			}
+		}
+		return out
+	}
+
+	lits := reasonLits(confl, 0)
+	for {
+		for _, q := range lits {
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learned = append(learned, q)
+			}
+		}
+		// Walk the trail backwards to the next marked literal.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		lits = reasonLits(s.reason[p.Var()], p)
+	}
+	learned[0] = p.Neg()
+
+	// Backjump level: the highest level among the other literals.
+	back := 0
+	for i := 1; i < len(learned); i++ {
+		if lv := s.level[learned[i].Var()]; lv > back {
+			back = lv
+			learned[1], learned[i] = learned[i], learned[1]
+		}
+	}
+	return learned, back
+}
+
+func (s *solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	bound := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.polarity[v] = s.assign[v] == assignedTrue
+		s.assign[v] = unassigned
+		s.reason[v] = -1
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = bound
+}
+
+func (s *solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.nVars; v++ {
+		if s.assign[v] == unassigned && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby yields the Luby restart sequence 1,1,2,1,1,2,4,…
+func luby(i int) int {
+	for k := 1; ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i >= 1<<(k-1) && i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+func (s *solver) solve() (*Result, error) {
+	// Root-level propagation of unit clauses.
+	if s.propagate() >= 0 {
+		return &Result{SAT: false, Conflicts: s.conflicts, Decisions: s.decisions}, nil
+	}
+	restart := 1
+	limit := 64 * luby(restart)
+	sinceRestart := 0
+	for {
+		confl := s.propagate()
+		if confl >= 0 {
+			s.conflicts++
+			sinceRestart++
+			if s.decisionLevel() == 0 {
+				return &Result{SAT: false, Conflicts: s.conflicts, Decisions: s.decisions}, nil
+			}
+			learned, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learned) == 1 {
+				if !s.enqueue(learned[0], -1) {
+					return &Result{SAT: false, Conflicts: s.conflicts, Decisions: s.decisions}, nil
+				}
+			} else {
+				idx := len(s.clauses)
+				s.clauses = append(s.clauses, learned)
+				s.watch(learned[0], idx, learned[1])
+				s.watch(learned[1], idx, learned[0])
+				s.enqueue(learned[0], idx)
+			}
+			s.varInc /= 0.95
+			continue
+		}
+		if sinceRestart >= limit {
+			sinceRestart = 0
+			restart++
+			limit = 64 * luby(restart)
+			s.cancelUntil(0)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			// All variables assigned: SAT.
+			model := make([]bool, s.nVars+1)
+			for i := 1; i <= s.nVars; i++ {
+				model[i] = s.assign[i] == assignedTrue
+			}
+			return &Result{SAT: true, Model: model, Conflicts: s.conflicts, Decisions: s.decisions}, nil
+		}
+		s.decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		lit := Lit(v)
+		if !s.polarity[v] {
+			lit = lit.Neg()
+		}
+		s.enqueue(lit, -1)
+	}
+}

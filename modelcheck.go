@@ -1,0 +1,63 @@
+package bvq
+
+import (
+	"sort"
+
+	"repro/internal/mucalc"
+)
+
+// Model checking (the paper's §1 application): a finite-state program is a
+// Kripke structure — a database of unary and binary relations — and
+// verifying a µ-calculus specification is FP² query evaluation.
+
+type (
+	// Kripke is a finite-state transition system with propositional labels.
+	Kripke = mucalc.Kripke
+	// MuFormula is a µ-calculus formula in positive normal form.
+	MuFormula = mucalc.Formula
+	// CTLFormula is a branching-time (CTL) formula; CTL is the
+	// alternation-free fragment of the µ-calculus in practice.
+	CTLFormula = mucalc.CTL
+)
+
+// NewKripke returns a structure with n states and no transitions.
+func NewKripke(n int) *Kripke { return mucalc.NewKripke(n) }
+
+// ParseMu parses µ-calculus syntax: "mu X. (p | <>X)", "nu X. (p & []X)".
+func ParseMu(text string) (MuFormula, error) { return mucalc.ParseMu(text) }
+
+// ModelCheck returns the sorted states of k satisfying f, computed through
+// the FP² translation and the bounded-variable bottom-up evaluator.
+func ModelCheck(k *Kripke, f MuFormula) ([]int, error) {
+	set, err := mucalc.CheckViaFP2(k, f)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	set.ForEach(func(s int) { out = append(out, s) })
+	sort.Ints(out)
+	return out, nil
+}
+
+// ModelCheckCertified model-checks through the Theorem 3.5 prover/verifier
+// pair and returns the sorted satisfying states together with the verified
+// certificate.
+func ModelCheckCertified(k *Kripke, f MuFormula) ([]int, *Certificate, error) {
+	set, cert, err := mucalc.CheckCertified(k, f)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []int
+	set.ForEach(func(s int) { out = append(out, s) })
+	sort.Ints(out)
+	return out, cert, nil
+}
+
+// ModelCheckCTL checks a CTL formula by translating it into the µ-calculus.
+func ModelCheckCTL(k *Kripke, f CTLFormula) ([]int, error) {
+	mu, err := mucalc.CTLToMu(f)
+	if err != nil {
+		return nil, err
+	}
+	return ModelCheck(k, mu)
+}

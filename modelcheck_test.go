@@ -1,0 +1,73 @@
+package bvq
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mucalc"
+)
+
+func lineKripke(t *testing.T) *Kripke {
+	t.Helper()
+	k := NewKripke(4)
+	for i := 0; i+1 < 4; i++ {
+		if err := k.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := k.Label(3, "goal"); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestModelCheckFacade(t *testing.T) {
+	k := lineKripke(t)
+	f, err := ParseMu("mu X. (goal | <>X)") // EF goal
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := ModelCheck(k, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(states, []int{0, 1, 2, 3}) {
+		t.Fatalf("EF goal = %v", states)
+	}
+	certified, cert, err := ModelCheckCertified(k, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(certified, states) {
+		t.Fatalf("certified states = %v", certified)
+	}
+	if cert == nil {
+		t.Fatal("nil certificate")
+	}
+}
+
+func TestModelCheckCTLFacade(t *testing.T) {
+	k := lineKripke(t)
+	states, err := ModelCheckCTL(k, mucalc.EF_{F: mucalc.CTLProp{Name: "goal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(states, []int{0, 1, 2, 3}) {
+		t.Fatalf("CTL EF goal = %v", states)
+	}
+	// AG goal holds only at the (deadlocked) goal state.
+	states, err = ModelCheckCTL(k, mucalc.AG_{F: mucalc.CTLProp{Name: "goal"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(states, []int{3}) {
+		t.Fatalf("CTL AG goal = %v", states)
+	}
+}
+
+func TestModelCheckRejectsBadFormula(t *testing.T) {
+	k := lineKripke(t)
+	if _, err := ModelCheck(k, mucalc.VarRef{Name: "X"}); err == nil {
+		t.Fatal("unbound variable accepted")
+	}
+}
