@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: all build test vet race bench sweep examples cover clean
+.PHONY: all build test vet race bench sweep examples cover clean check
 
 all: vet test build
+
+# check is the pre-merge gate: static analysis plus the full suite under the
+# race detector (the parallel PFP sweep makes -race meaningful).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

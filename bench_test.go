@@ -41,6 +41,7 @@ import (
 	"repro/internal/prop"
 	"repro/internal/qbf"
 	"repro/internal/queryopt"
+	"repro/internal/relation"
 	"repro/internal/workload"
 )
 
@@ -557,4 +558,90 @@ func wideChain(b *testing.B, m int) logic.Query {
 		conj[i] = logic.R("E", vars[i], vars[i+1])
 	}
 	return logic.MustQuery([]logic.Var{"x", "y"}, logic.Exists(logic.And(conj...), vars[1:m]...))
+}
+
+// ---- KERNELS: word-parallel dense-relation microbenchmarks ----
+//
+// The quantifier kernels are the inner loop of every bottom-up evaluation:
+// one ExistsAxis/ForallAxis per quantifier per subformula visit. The word/
+// ref pairs compare the word-parallel fold (block path for stride ≥ 64,
+// masked-word path below) against the bit-level reference oracle.
+
+func randomDenseBench(sp *relation.Space, seed int64) *relation.Dense {
+	r := rand.New(rand.NewSource(seed))
+	d := sp.Empty()
+	for idx := 0; idx < sp.Size(); idx++ {
+		if r.Intn(2) == 0 {
+			d.AddIndex(idx)
+		}
+	}
+	return d
+}
+
+func BenchmarkDenseExistsAxis(b *testing.B) {
+	for _, sh := range []struct{ k, n int }{{3, 16}, {3, 32}, {2, 64}} {
+		sp := relation.MustSpace(sh.k, sh.n)
+		d := randomDenseBench(sp, 1)
+		for axis := 0; axis < sh.k; axis++ {
+			b.Run(fmt.Sprintf("word/%d^%d/axis=%d", sh.n, sh.k, axis), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d.ExistsAxis(axis).Release()
+				}
+			})
+			b.Run(fmt.Sprintf("ref/%d^%d/axis=%d", sh.n, sh.k, axis), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d.ExistsAxisRef(axis).Release()
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDenseForallAxis(b *testing.B) {
+	for _, sh := range []struct{ k, n int }{{3, 16}, {3, 32}, {2, 64}} {
+		sp := relation.MustSpace(sh.k, sh.n)
+		d := randomDenseBench(sp, 2)
+		for axis := 0; axis < sh.k; axis++ {
+			b.Run(fmt.Sprintf("word/%d^%d/axis=%d", sh.n, sh.k, axis), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d.ForallAxis(axis).Release()
+				}
+			})
+			b.Run(fmt.Sprintf("ref/%d^%d/axis=%d", sh.n, sh.k, axis), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					d.ForallAxisRef(axis).Release()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPFPParallel sweeps a parametrized PFP — one independent fixpoint
+// run per parameter value — serially and with the worker pool. On a single
+// core the two coincide; the benchmark exists to quantify the sweep overhead
+// there and the speedup on multi-core machines.
+func BenchmarkPFPParallel(b *testing.B) {
+	// [pfp S(x). x=y ∨ ∃z(E(z,x) ∧ S(z))](x): reachability-from-y, one run
+	// per value of the parameter y.
+	body := logic.Or(
+		logic.Equal("x", "y"),
+		logic.Exists(logic.And(logic.R("E", "z", "x"),
+			logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z"))
+	q := logic.MustQuery([]logic.Var{"x", "y"}, logic.Pfp("S", []logic.Var{"x"}, body, "x"))
+	for _, n := range []int{16, 32} {
+		db := workload.LineGraph(n)
+		for _, par := range []struct {
+			name string
+			p    int
+		}{{"serial", 1}, {"pool", 0}} {
+			opts := &eval.Options{Parallelism: par.p}
+			b.Run(fmt.Sprintf("%s/n=%d", par.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := eval.BottomUpStats(q, db, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

@@ -223,7 +223,7 @@ func t2fp() {
 	fmt.Printf("   %-4s %12s %12s %12s %12s %10s\n", "n", "naive-iters", "verify-iters", "naive", "verify", "|cert|")
 	for _, n := range sizes {
 		db := workload.LineGraph(n)
-		var naiveIters, verifyIters int
+		var naiveIters, verifyIters int64
 		var ans1, ans2 interface{ Len() int }
 		tn := timeIt(func() {
 			a, st, err := eval.BottomUpStats(q, db, nil)
@@ -418,7 +418,7 @@ func t2pfp() {
 	fmt.Printf("   %-4s %12s %12s %12s %12s\n", "n", "hash", "hash-iters", "brent", "brent-iters")
 	for _, n := range sizes {
 		db := workload.LineGraph(n)
-		var hi, bi int
+		var hi, bi int64
 		var a1, a2 interface{ Len() int }
 		th := timeIt(func() {
 			a, st, err := eval.BottomUpStats(q, db, &eval.Options{PFPCycle: eval.CycleHash})
@@ -457,7 +457,7 @@ func t2pfp() {
 		die(err)
 		odb, err := base.WithOrder()
 		die(err)
-		var stages int
+		var stages int64
 		tc := timeIt(func() {
 			ans, st, err := eval.BottomUpStats(counter, odb, nil)
 			die(err)

@@ -1,0 +1,166 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomDensitySet returns a set of n bits with each bit set with probability p.
+func randomDensitySet(r *rand.Rand, n int, p float64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+// The range kernels are verified against per-bit loops over random sets,
+// offsets and lengths, covering cross-word and word-interior ranges and
+// capacities not divisible by 64.
+
+func TestRangeKernelsAgainstBitLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	sizes := []int{1, 7, 63, 64, 65, 100, 128, 200, 517}
+	for _, n := range sizes {
+		for trial := 0; trial < 50; trial++ {
+			src := randomDensitySet(r, n, 0.4)
+			length := r.Intn(n + 1)
+			dstOff := r.Intn(n - length + 1)
+			srcOff := r.Intn(n - length + 1)
+
+			for _, op := range []string{"or", "and", "copy"} {
+				dst := randomDensitySet(r, n, 0.4)
+				want := dst.Clone()
+				for i := 0; i < length; i++ {
+					sb := src.Test(srcOff + i)
+					db := want.Test(dstOff + i)
+					var v bool
+					switch op {
+					case "or":
+						v = db || sb
+					case "and":
+						v = db && sb
+					case "copy":
+						v = sb
+					}
+					if v {
+						want.Set(dstOff + i)
+					} else {
+						want.Clear(dstOff + i)
+					}
+				}
+				switch op {
+				case "or":
+					dst.OrRange(src, dstOff, srcOff, length)
+				case "and":
+					dst.AndRange(src, dstOff, srcOff, length)
+				case "copy":
+					dst.CopyRange(src, dstOff, srcOff, length)
+				}
+				if !dst.Equal(want) {
+					t.Fatalf("n=%d %s dstOff=%d srcOff=%d len=%d:\n got %v\nwant %v",
+						n, op, dstOff, srcOff, length, dst, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSetRange(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 9, 64, 65, 130, 321} {
+		for trial := 0; trial < 30; trial++ {
+			length := r.Intn(n + 1)
+			off := r.Intn(n - length + 1)
+			s := randomDensitySet(r, n, 0.3)
+			want := s.Clone()
+			for i := 0; i < length; i++ {
+				want.Set(off + i)
+			}
+			s.SetRange(off, length)
+			if !s.Equal(want) {
+				t.Fatalf("n=%d off=%d len=%d: got %v want %v", n, off, length, s, want)
+			}
+		}
+	}
+}
+
+func TestOrNot(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 63, 64, 65, 200} {
+		s := randomDensitySet(r, n, 0.5)
+		u := randomDensitySet(r, n, 0.5)
+		want := s.Clone()
+		want.Not()
+		want.Or(u)
+		s.OrNot(u)
+		if !s.Equal(want) {
+			t.Fatalf("n=%d: got %v want %v", n, s, want)
+		}
+		// The unused high bits of the last word must stay clear.
+		if c := s.Count(); c > n {
+			t.Fatalf("n=%d: count %d exceeds capacity", n, c)
+		}
+	}
+}
+
+func TestFoldAndBroadcastStride(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	// Shapes chosen to exercise span<64, span=64 aligned, span>64 unaligned.
+	shapes := []struct{ span, stride, count int }{
+		{1, 1, 5}, {3, 3, 4}, {9, 9, 9}, {64, 64, 4}, {70, 70, 3}, {128, 128, 2},
+	}
+	for _, sh := range shapes {
+		n := sh.stride*sh.count + sh.span
+		src := randomDensitySet(r, n, 0.4)
+
+		or := New(n)
+		or.OrFoldStride(src, 0, 0, sh.stride, sh.span, sh.count)
+		and := Full(n)
+		and.AndFoldStride(src, 0, 0, sh.stride, sh.span, sh.count)
+		for i := 0; i < sh.span; i++ {
+			anyBit, allBit := false, true
+			for v := 0; v < sh.count; v++ {
+				b := src.Test(v*sh.stride + i)
+				anyBit = anyBit || b
+				allBit = allBit && b
+			}
+			if or.Test(i) != anyBit {
+				t.Fatalf("%+v: or-fold bit %d = %v, want %v", sh, i, or.Test(i), anyBit)
+			}
+			if and.Test(i) != allBit {
+				t.Fatalf("%+v: and-fold bit %d = %v, want %v", sh, i, and.Test(i), allBit)
+			}
+		}
+
+		dst := New(n)
+		dst.OrBroadcastStride(src, 0, 0, sh.stride, sh.span, sh.count)
+		for v := 0; v < sh.count; v++ {
+			for i := 0; i < sh.span; i++ {
+				if dst.Test(v*sh.stride+i) != src.Test(i) {
+					t.Fatalf("%+v: broadcast slab %d bit %d mismatch", sh, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeOpSelfAliasing(t *testing.T) {
+	// A broadcast from a set into itself (source slab before destinations)
+	// must behave as if the source were snapshotted: the fold/broadcast pair
+	// used by the quantifier kernels relies on this.
+	s := New(192)
+	s.Set(0)
+	s.Set(5)
+	s.OrBroadcastStride(s, 9, 0, 9, 9, 20)
+	for v := 0; v < 21; v++ {
+		if !s.Test(v*9) || !s.Test(v*9+5) {
+			t.Fatalf("slab %d missing broadcast bits: %v", v, s)
+		}
+		if s.Test(v*9+1) || s.Test(v*9+4) {
+			t.Fatalf("slab %d has stray bits: %v", v, s)
+		}
+	}
+}

@@ -67,7 +67,7 @@ type algCtx struct {
 }
 
 func (c *algCtx) observe(r algRel) algRel {
-	c.stats.SubformulaEvals++
+	c.stats.addSubformulaEvals(1)
 	c.stats.observe(len(r.vars), r.set.Len())
 	return r
 }

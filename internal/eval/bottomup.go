@@ -2,6 +2,8 @@ package eval
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/database"
 	"repro/internal/logic"
@@ -34,7 +36,16 @@ func BottomUpStats(q logic.Query, db *database.Database, opts *Options) (*relati
 	if err != nil {
 		return nil, nil, err
 	}
-	c := &buCtx{db: db, sp: sp, axes: make(map[logic.Var]int, len(vars)), env: newEnv(), stats: &Stats{}, opts: opts}
+	c := &buCtx{
+		db:     db,
+		sp:     sp,
+		axes:   make(map[logic.Var]int, len(vars)),
+		env:    newEnv(),
+		stats:  &Stats{},
+		opts:   opts,
+		atoms:  &atomCache{},
+		spaces: &spaceCache{n: db.Size()},
+	}
 	for i, v := range vars {
 		c.axes[v] = i
 	}
@@ -49,14 +60,75 @@ func BottomUpStats(q logic.Query, db *database.Database, opts *Options) (*relati
 	return d.Project(head), c.stats, nil
 }
 
-// buCtx carries the evaluation state of one BottomUp run.
+// atomCache memoizes the cylindrified dense form of database atoms, keyed by
+// relation name and argument axes. Database relations are immutable during
+// one evaluation, so every re-visit of R(x̄) inside a fixpoint body is a
+// word-copy of the cached master instead of a per-tuple cylinder walk. The
+// cache is shared by all PFP sweep workers.
+type atomCache struct {
+	mu sync.Mutex
+	m  map[string]*relation.Dense
+}
+
+// spaceCache shares the per-arity extended spaces (and with them their
+// scratch pools and diagonal/template caches) across all fixpoint visits and
+// sweep workers of one evaluation.
+type spaceCache struct {
+	mu sync.Mutex
+	n  int
+	m  map[int]*relation.Space
+}
+
+func (sc *spaceCache) space(arity int) (*relation.Space, error) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sp, ok := sc.m[arity]; ok {
+		return sp, nil
+	}
+	sp, err := relation.NewSpace(arity, sc.n)
+	if err != nil {
+		return nil, err
+	}
+	if sc.m == nil {
+		sc.m = make(map[int]*relation.Space)
+	}
+	sc.m[arity] = sp
+	return sp, nil
+}
+
+// buCtx carries the evaluation state of one BottomUp run. The parallel PFP
+// sweep forks one context per worker: env is per-context, everything else is
+// shared (and either immutable or internally synchronized).
 type buCtx struct {
-	db    *database.Database
-	sp    *relation.Space
-	axes  map[logic.Var]int
-	env   *env
-	stats *Stats
-	opts  *Options
+	db     *database.Database
+	sp     *relation.Space
+	axes   map[logic.Var]int
+	env    *env
+	stats  *Stats
+	opts   *Options
+	atoms  *atomCache
+	spaces *spaceCache
+}
+
+// fork returns a context for a PFP sweep worker: an independent environment
+// snapshot over the shared database, space, stats and caches. Nested
+// fixpoints inside a worker evaluate serially.
+func (c *buCtx) fork() *buCtx {
+	var o Options
+	if c.opts != nil {
+		o = *c.opts
+	}
+	o.Parallelism = 1
+	return &buCtx{
+		db:     c.db,
+		sp:     c.sp,
+		axes:   c.axes,
+		env:    c.env.clone(),
+		stats:  c.stats,
+		opts:   &o,
+		atoms:  c.atoms,
+		spaces: c.spaces,
+	}
 }
 
 func (c *buCtx) axis(v logic.Var) (int, error) {
@@ -79,9 +151,10 @@ func (c *buCtx) axesOf(vs []logic.Var) ([]int, error) {
 	return out, nil
 }
 
-// eval returns the dense denotation of f over the full variable tuple.
+// eval returns the dense denotation of f over the full variable tuple. The
+// caller owns the result and may mutate or Release it.
 func (c *buCtx) eval(f logic.Formula) (*relation.Dense, error) {
-	c.stats.SubformulaEvals++
+	c.stats.addSubformulaEvals(1)
 	d, err := c.evalNode(f)
 	if err != nil {
 		return nil, err
@@ -131,20 +204,13 @@ func (c *buCtx) evalNode(f logic.Formula) (*relation.Dense, error) {
 		case logic.OrOp:
 			l.UnionWith(r)
 		case logic.ImpliesOp:
-			l.Complement()
-			l.UnionWith(r)
+			l.ImpliesWith(r) // fused ¬l ∪ r, one pass
 		case logic.IffOp:
-			// l ↔ r = ¬(l xor r): complement of symmetric difference.
-			nl := l.Clone()
-			nl.Complement()
-			nr := r.Clone()
-			nr.Complement()
-			l.IntersectWith(r)   // l ∧ r
-			nl.IntersectWith(nr) // ¬l ∧ ¬r
-			l.UnionWith(nl)
+			l.IffWith(r) // fused ¬(l ⊕ r), one pass
 		default:
 			return nil, fmt.Errorf("eval: unknown binary op %v", g.Op)
 		}
+		r.Release()
 		return l, nil
 	case logic.Quant:
 		d, err := c.eval(g.F)
@@ -155,10 +221,14 @@ func (c *buCtx) evalNode(f logic.Formula) (*relation.Dense, error) {
 		if err != nil {
 			return nil, err
 		}
+		var res *relation.Dense
 		if g.Kind == logic.ExistsQ {
-			return d.ExistsAxis(a), nil
+			res = d.ExistsAxis(a)
+		} else {
+			res = d.ForallAxis(a)
 		}
-		return d.ForallAxis(a), nil
+		d.Release()
+		return res, nil
 	case logic.Fix:
 		return c.evalFix(g)
 	case logic.SOQuant:
@@ -174,12 +244,15 @@ func (c *buCtx) evalAtom(g logic.Atom) (*relation.Dense, error) {
 		return nil, err
 	}
 	if br, ok := c.env.rels[g.Rel]; ok {
-		if len(g.Args) != br.set.Arity()-len(br.params) {
-			return nil, fmt.Errorf("eval: %s used with %d arguments, bound with arity %d", g.Rel, len(g.Args), br.set.Arity()-len(br.params))
+		if len(g.Args) != br.arity()-len(br.params) {
+			return nil, fmt.Errorf("eval: %s used with %d arguments, bound with arity %d", g.Rel, len(g.Args), br.arity()-len(br.params))
 		}
 		pax, err := c.axesOf(br.params)
 		if err != nil {
 			return nil, err
+		}
+		if br.dense != nil {
+			return c.sp.FromDenseAtom(br.dense, append(args, pax...))
 		}
 		return c.sp.FromAtom(br.set, append(args, pax...))
 	}
@@ -187,7 +260,34 @@ func (c *buCtx) evalAtom(g logic.Atom) (*relation.Dense, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.sp.FromAtom(rel, args)
+	// Database atoms are immutable for the whole evaluation: cylindrify once
+	// per (relation, argument-axes) and hand out pooled copies.
+	key := atomKey(g.Rel, args)
+	c.atoms.mu.Lock()
+	master, ok := c.atoms.m[key]
+	if !ok {
+		master, err = c.sp.FromAtom(rel, args)
+		if err != nil {
+			c.atoms.mu.Unlock()
+			return nil, err
+		}
+		if c.atoms.m == nil {
+			c.atoms.m = make(map[string]*relation.Dense)
+		}
+		c.atoms.m[key] = master
+	}
+	c.atoms.mu.Unlock()
+	return master.Clone(), nil
+}
+
+func atomKey(rel string, args []int) string {
+	b := make([]byte, 0, len(rel)+1+len(args))
+	b = append(b, rel...)
+	b = append(b, 0)
+	for _, a := range args {
+		b = append(b, byte(a))
+	}
+	return string(b)
 }
 
 // evalFix computes the denotation of a fixpoint formula. For LFP/GFP with
@@ -196,7 +296,10 @@ func (c *buCtx) evalAtom(g logic.Atom) (*relation.Dense, error) {
 // iterated simultaneously for every parameter value — the operator acts
 // pointwise in ȳ, so the extended fixpoint restricts to the per-parameter
 // fixpoint. PFP iterates per parameter assignment, with cycle detection for
-// divergence.
+// divergence. All stage relations stay dense: each stage is extracted from
+// the body denotation with a word-parallel ProjectAt and re-enters the next
+// stage's atoms through FromDenseAtom, never materializing sparse tuple
+// sets.
 func (c *buCtx) evalFix(g logic.Fix) (*relation.Dense, error) {
 	params := fixParams(g)
 	varAxes, err := c.axesOf(g.Vars)
@@ -218,42 +321,59 @@ func (c *buCtx) evalFix(g logic.Fix) (*relation.Dense, error) {
 		if err != nil {
 			return nil, err
 		}
-		return c.sp.FromAtom(limit, append(argAxes, paramAxes...))
+		res, err := c.sp.FromDenseAtom(limit, append(argAxes, paramAxes...))
+		limit.Release()
+		return res, err
 	}
 
 	ext := len(g.Vars) + len(params)
-	cur := relation.NewSet(ext)
-	if g.Op == logic.GFP {
-		cur = c.fullSet(ext)
+	esp, err := c.spaces.space(ext)
+	if err != nil {
+		return nil, err
 	}
-	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
+	var cur *relation.Dense
+	if g.Op == logic.GFP {
+		cur = esp.Full()
+	} else {
+		cur = esp.Empty()
+	}
+	restore := c.env.bind(g.Rel, boundRel{dense: cur, params: params})
 	defer restore()
 	for {
-		c.stats.FixIterations++
-		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
+		c.stats.addFixIterations(1)
+		c.env.rels[g.Rel] = boundRel{dense: cur, params: params}
 		body, err := c.eval(g.Body)
 		if err != nil {
 			return nil, err
 		}
-		next := body.Project(extCols)
+		next := body.ProjectAt(esp, extCols, nil, nil)
+		body.Release()
 		if g.Op == logic.IFP {
 			// Inflationary stages: S_{i+1} = S_i ∪ φ(S_i); converge within
 			// n^ext steps with no positivity requirement.
-			next = next.Union(cur)
+			next.UnionWith(cur)
 		}
 		if next.Equal(cur) {
+			next.Release()
 			break
 		}
+		c.env.rels[g.Rel] = boundRel{dense: next, params: params}
+		cur.Release()
 		cur = next
 	}
-	return c.sp.FromAtom(cur, append(argAxes, paramAxes...))
+	res, err := c.sp.FromDenseAtom(cur, append(argAxes, paramAxes...))
+	cur.Release()
+	return res, err
 }
 
 // evalPFP computes the partial fixpoint per parameter assignment and returns
-// the union as an extended (|x̄|+|ȳ|)-ary relation.
-func (c *buCtx) evalPFP(g logic.Fix, params []logic.Var, varAxes, paramAxes []int) (*relation.Set, error) {
+// the union as an extended (|x̄|+|ȳ|)-ary dense relation. The n^|ȳ| runs are
+// independent, so with Parallelism > 1 they are swept by a worker pool; the
+// per-assignment limits land in disjoint parameter sections of the output,
+// making the result — and every Stats counter — identical to the serial
+// sweep regardless of scheduling.
+func (c *buCtx) evalPFP(g logic.Fix, params []logic.Var, varAxes, paramAxes []int) (*relation.Dense, error) {
 	m := len(g.Vars)
-	out := relation.NewSet(m + len(params))
 	budget := DefaultPFPBudget
 	mode := CycleHash
 	if c.opts != nil {
@@ -262,92 +382,158 @@ func (c *buCtx) evalPFP(g logic.Fix, params []logic.Var, varAxes, paramAxes []in
 		}
 		mode = c.opts.PFPCycle
 	}
-	msp, err := relation.NewSpace(m, c.db.Size())
+	msp, err := c.spaces.space(m)
 	if err != nil {
 		return nil, err
 	}
-	var perr error
-	forEachAssignment(c.db.Size(), len(params), func(assign []int) bool {
-		// step computes one stage of the operator for this assignment.
-		step := func(s *relation.Set) (*relation.Set, error) {
-			c.stats.FixIterations++
-			restore := c.env.bind(g.Rel, boundRel{set: s})
-			body, err := c.eval(g.Body)
-			restore()
+	esp, err := c.spaces.space(m + len(params))
+	if err != nil {
+		return nil, err
+	}
+	if len(params) == 0 {
+		// No parameters: the single run's limit is the answer (msp == esp).
+		return c.pfpOne(g, msp, varAxes, paramAxes, nil, mode, budget)
+	}
+
+	n := c.db.Size()
+	nAssign := 1
+	for range params {
+		nAssign *= n
+	}
+	out := esp.Empty()
+
+	// Every esp stride over the var axes is the msp stride scaled by n^|ȳ|,
+	// so a limit index maps into the output's parameter section by one
+	// multiply-add: idx ↦ base + idx·n^|ȳ|.
+	np := 1
+	for range params {
+		np *= n
+	}
+	merge := func(limit *relation.Dense, assign []int) {
+		base := 0
+		for j := range assign {
+			base += assign[j] * esp.Stride(m+j)
+		}
+		limit.ForEachIndex(func(idx int) {
+			out.AddIndex(base + idx*np)
+		})
+		limit.Release()
+	}
+
+	workers := parallelism(c.opts)
+	if workers > nAssign {
+		workers = nAssign
+	}
+	if workers <= 1 {
+		assign := make([]int, len(params))
+		for a := 0; a < nAssign; a++ {
+			decodeAssign(a, n, assign)
+			limit, err := c.pfpOne(g, msp, varAxes, paramAxes, assign, mode, budget)
 			if err != nil {
 				return nil, err
 			}
-			proj := body.Project(append(append([]int(nil), varAxes...), paramAxes...))
-			next := relation.NewSet(m)
-			proj.ForEach(func(t relation.Tuple) {
-				for i, v := range assign {
-					if t[m+i] != v {
-						return
-					}
+			merge(limit, assign)
+		}
+		return out, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int64
+		stop     int32
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wc := c.fork()
+		wg.Add(1)
+		go func(wc *buCtx) {
+			defer wg.Done()
+			assign := make([]int, len(params))
+			for {
+				if atomic.LoadInt32(&stop) != 0 {
+					return
 				}
-				next.Add(t[:m])
-			})
-			return next, nil
-		}
-		var limit *relation.Set
-		switch mode {
-		case CycleBrent:
-			limit, perr = pfpBrent(step, m, msp, budget)
-		default:
-			limit, perr = pfpHash(step, m, msp, budget)
-		}
-		if perr != nil {
-			return false
-		}
-		limit.ForEach(func(t relation.Tuple) {
-			ext := make(relation.Tuple, m+len(assign))
-			copy(ext, t)
-			copy(ext[m:], assign)
-			out.Add(ext)
-		})
-		return true
-	})
-	if perr != nil {
-		return nil, perr
+				a := int(atomic.AddInt64(&next, 1)) - 1
+				if a >= nAssign {
+					return
+				}
+				decodeAssign(a, n, assign)
+				limit, err := wc.pfpOne(g, msp, varAxes, paramAxes, assign, mode, budget)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					atomic.StoreInt32(&stop, 1)
+					mu.Unlock()
+					return
+				}
+				merge(limit, assign)
+				mu.Unlock()
+			}
+		}(wc)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
+}
+
+// decodeAssign writes the a-th parameter assignment (row-major, first
+// parameter most significant — the forEachAssignment order) into buf.
+func decodeAssign(a, n int, buf []int) {
+	for j := len(buf) - 1; j >= 0; j-- {
+		buf[j] = a % n
+		a /= n
+	}
+}
+
+// pfpOne runs the partial-fixpoint iteration for one parameter assignment
+// and returns the limit as an m-ary dense relation (empty if the run is
+// periodic with period > 1, per §2.2).
+func (c *buCtx) pfpOne(g logic.Fix, msp *relation.Space, varAxes, paramAxes, assign []int, mode CycleMode, budget int) (*relation.Dense, error) {
+	step := func(s *relation.Dense) (*relation.Dense, error) {
+		c.stats.addFixIterations(1)
+		restore := c.env.bind(g.Rel, boundRel{dense: s})
+		body, err := c.eval(g.Body)
+		restore()
+		if err != nil {
+			return nil, err
+		}
+		next := body.ProjectAt(msp, varAxes, paramAxes, assign)
+		body.Release()
+		return next, nil
+	}
+	if mode == CycleBrent {
+		return pfpBrent(step, msp, budget)
+	}
+	return pfpHash(step, msp, budget)
 }
 
 // pfpHash iterates step from ∅, remembering a hash of every stage; the run
 // is eventually periodic, and the partial fixpoint is the repeated value if
 // the period is 1, the empty relation otherwise (§2.2).
-func pfpHash(step func(*relation.Set) (*relation.Set, error), m int, msp *relation.Space, budget int) (*relation.Set, error) {
-	cur := relation.NewSet(m)
-	seen := map[uint64][]*relation.Set{}
-	key := func(s *relation.Set) (uint64, error) {
-		d, err := s.ToDense(msp)
-		if err != nil {
-			return 0, err
-		}
-		return d.Hash(), nil
-	}
-	k, err := key(cur)
-	if err != nil {
-		return nil, err
-	}
-	seen[k] = append(seen[k], cur)
+func pfpHash(step func(*relation.Dense) (*relation.Dense, error), msp *relation.Space, budget int) (*relation.Dense, error) {
+	cur := msp.Empty()
+	seen := map[uint64][]*relation.Dense{cur.Hash(): {cur}}
 	for i := 0; i < budget; i++ {
 		next, err := step(cur)
 		if err != nil {
 			return nil, err
 		}
 		if next.Equal(cur) {
+			next.Release()
 			return cur, nil // converged
 		}
-		k, err := key(next)
-		if err != nil {
-			return nil, err
-		}
+		k := next.Hash()
 		for _, prev := range seen[k] {
 			if prev.Equal(next) {
 				// Revisited an earlier stage without convergence: the run is
 				// periodic with period > 1, so the limit does not exist.
-				return relation.NewSet(m), nil
+				next.Release()
+				return msp.Empty(), nil
 			}
 		}
 		seen[k] = append(seen[k], next)
@@ -358,10 +544,10 @@ func pfpHash(step func(*relation.Set) (*relation.Set, error), m int, msp *relati
 
 // pfpBrent is pfpHash with Brent's cycle-finding algorithm: it keeps only
 // two stages live at a time, at the cost of re-running the operator.
-func pfpBrent(step func(*relation.Set) (*relation.Set, error), m int, _ *relation.Space, budget int) (*relation.Set, error) {
+func pfpBrent(step func(*relation.Dense) (*relation.Dense, error), msp *relation.Space, budget int) (*relation.Dense, error) {
 	// Find the cycle length lam with Brent's power-of-two windows.
 	power, lam := 1, 1
-	tortoise := relation.NewSet(m)
+	tortoise := msp.Empty()
 	hare, err := step(tortoise)
 	if err != nil {
 		return nil, err
@@ -387,7 +573,7 @@ func pfpBrent(step func(*relation.Set) (*relation.Set, error), m int, _ *relatio
 		// Period 1: the run converges, and hare is the limit.
 		return hare, nil
 	}
-	return relation.NewSet(m), nil
+	return msp.Empty(), nil
 }
 
 // fixParams returns the fixpoint's parameter variables: free individual

@@ -216,7 +216,7 @@ func (c *certCtx) axesOf(vs []logic.Var) []int {
 // argument names f's position in the tree, so both modes agree on node
 // identity.
 func (c *certCtx) eval(f logic.Formula, path string) (*relation.Dense, error) {
-	c.stats.SubformulaEvals++
+	c.stats.addSubformulaEvals(1)
 	switch g := f.(type) {
 	case logic.Atom:
 		if br, ok := c.env.rels[g.Rel]; ok {
@@ -297,7 +297,7 @@ func (c *certCtx) evalLfp(g logic.Fix, path string) (*relation.Dense, error) {
 	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
 	defer restore()
 	for {
-		c.stats.FixIterations++
+		c.stats.addFixIterations(1)
 		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
 		body, err := c.eval(g.Body, path+".b")
 		if err != nil {
@@ -352,7 +352,7 @@ func (c *certCtx) evalGfp(g logic.Fix, path string) (*relation.Dense, error) {
 	// Mirror check (Lemma 3.3): Q ⊆ f′(Q), evaluated with the certified
 	// under-approximations of everything inside the body.
 	restore := c.env.bind(g.Rel, boundRel{set: q, params: params})
-	c.stats.FixIterations++
+	c.stats.addFixIterations(1)
 	body, err := c.eval(g.Body, path+".b")
 	restore()
 	if err != nil {
@@ -368,7 +368,8 @@ func (c *certCtx) evalGfp(g logic.Fix, path string) (*relation.Dense, error) {
 // environment with a plain nested Kleene iteration (no certificate state
 // touched). This is prover-side work only.
 func (c *certCtx) exactGfp(g logic.Fix, params []logic.Var, extCols []int) (*relation.Set, error) {
-	sub := &buCtx{db: c.db, sp: c.sp, axes: c.axes, env: c.env, stats: c.stats, opts: nil}
+	sub := &buCtx{db: c.db, sp: c.sp, axes: c.axes, env: c.env, stats: c.stats, opts: nil,
+		atoms: &atomCache{}, spaces: &spaceCache{n: c.db.Size()}}
 	ext := len(g.Vars) + len(params)
 	cur := sub.fullSet(ext)
 	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})

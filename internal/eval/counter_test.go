@@ -52,7 +52,7 @@ func TestPFPCounterTakesExponentialStages(t *testing.T) {
 	if q.Width() != 2 {
 		t.Fatalf("counter width = %d, want 2", q.Width())
 	}
-	prev := 0
+	var prev int64
 	for _, n := range []int{2, 3, 4, 5} {
 		db := orderedDomain(t, n)
 		ans, st, err := BottomUpStats(q, db, nil)

@@ -26,6 +26,8 @@ package eval
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"repro/internal/database"
 	"repro/internal/logic"
@@ -60,45 +62,95 @@ type Options struct {
 	PFPBudget int
 	// PFPCycle selects the convergence detector.
 	PFPCycle CycleMode
+	// Parallelism bounds the number of worker goroutines the PFP evaluator
+	// uses for its per-parameter-assignment sweep (the n^|ȳ| independent
+	// fixpoint runs of a parametrized PFP are embarrassingly parallel).
+	// 0 means GOMAXPROCS; 1 preserves fully serial evaluation. The answer
+	// and all Stats counters are identical at every setting.
+	Parallelism int
+}
+
+// parallelism resolves the Options.Parallelism knob.
+func parallelism(opts *Options) int {
+	if opts != nil && opts.Parallelism > 0 {
+		return opts.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultPFPBudget bounds PFP stage counts when Options.PFPBudget is zero.
 const DefaultPFPBudget = 1 << 20
 
-// Stats reports work done by an evaluation.
+// Stats reports work done by an evaluation. Counters are updated through
+// atomic operations — the parallel PFP sweep increments them from several
+// worker goroutines at once — so the fields are plain int64s that are only
+// safe to read after the evaluation returns.
 type Stats struct {
 	// SubformulaEvals counts dense-relation constructions (one per
 	// subformula visit, including re-visits inside fixpoint iterations).
-	SubformulaEvals int
+	SubformulaEvals int64
 	// FixIterations counts fixpoint stages across all fixpoint operators.
-	FixIterations int
+	FixIterations int64
 	// MaxIntermediateArity is the largest arity of any intermediate
 	// relation (always the query width for BottomUp; per-subformula for
 	// Algebra).
-	MaxIntermediateArity int
+	MaxIntermediateArity int64
 	// MaxIntermediateTuples is the largest tuple count of any intermediate
 	// relation.
-	MaxIntermediateTuples int
+	MaxIntermediateTuples int64
 }
 
+func (s *Stats) addSubformulaEvals(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.SubformulaEvals, d)
+	}
+}
+
+func (s *Stats) addFixIterations(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.FixIterations, d)
+	}
+}
+
+// observe folds one intermediate relation's shape into the maxima. It may be
+// called concurrently once the PFP sweep is parallel, so the maxima are
+// maintained with compare-and-swap.
 func (s *Stats) observe(arity, tuples int) {
 	if s == nil {
 		return
 	}
-	if arity > s.MaxIntermediateArity {
-		s.MaxIntermediateArity = arity
-	}
-	if tuples > s.MaxIntermediateTuples {
-		s.MaxIntermediateTuples = tuples
+	atomicMax(&s.MaxIntermediateArity, int64(arity))
+	atomicMax(&s.MaxIntermediateTuples, int64(tuples))
+}
+
+func atomicMax(p *int64, v int64) {
+	for {
+		cur := atomic.LoadInt64(p)
+		if v <= cur || atomic.CompareAndSwapInt64(p, cur, v) {
+			return
+		}
 	}
 }
 
 // boundRel is an interpreted relation symbol: a database relation
 // (params nil) or a recursion relation extended with its parameter
-// variables (the free individual variables of the fixpoint body).
+// variables (the free individual variables of the fixpoint body). The value
+// is either a sparse set or a dense relation; the dense form is what the
+// bottom-up fixpoint evaluators bind, so stage relations never round-trip
+// through sparse tuple sets.
 type boundRel struct {
 	set    *relation.Set
+	dense  *relation.Dense
 	params []logic.Var
+}
+
+// arity returns the bound relation's extended arity (recursion tuple plus
+// parameters).
+func (br boundRel) arity() int {
+	if br.dense != nil {
+		return br.dense.Space().Arity()
+	}
+	return br.set.Arity()
 }
 
 // env maps bound relation symbols to their current values, with scoping.
@@ -107,6 +159,16 @@ type env struct {
 }
 
 func newEnv() *env { return &env{rels: make(map[string]boundRel)} }
+
+// clone returns an independent copy of the environment, so a PFP sweep
+// worker can bind its own recursion stages without racing its siblings.
+func (e *env) clone() *env {
+	c := newEnv()
+	for k, v := range e.rels {
+		c.rels[k] = v
+	}
+	return c
+}
 
 func (e *env) bind(name string, r boundRel) (restore func()) {
 	prev, had := e.rels[name]

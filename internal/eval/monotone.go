@@ -89,7 +89,7 @@ func (c *monoCtx) axesOf(vs []logic.Var) []int {
 }
 
 func (c *monoCtx) eval(f logic.Formula, path string) (*relation.Dense, error) {
-	c.stats.SubformulaEvals++
+	c.stats.addSubformulaEvals(1)
 	switch g := f.(type) {
 	case logic.Atom:
 		if br, ok := c.env.rels[g.Rel]; ok {
@@ -166,7 +166,7 @@ func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
 	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
 	defer restore()
 	for {
-		c.stats.FixIterations++
+		c.stats.addFixIterations(1)
 		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
 		body, err := c.eval(g.Body, path+".b")
 		if err != nil {

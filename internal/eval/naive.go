@@ -252,12 +252,57 @@ func (c *naiveCtx) holdsFix(g logic.Fix) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		cur, err = pfpHash(step, m, msp, DefaultPFPBudget)
+		cur, err = pfpHashSet(step, m, msp, DefaultPFPBudget)
 		if err != nil {
 			return false, err
 		}
 	}
 	return cur.Contains(args), nil
+}
+
+// pfpHashSet is the sparse-set analogue of pfpHash, used by the naive
+// evaluator: iterate step from ∅, hash every stage (via its dense form), and
+// return the repeated value if the period is 1, the empty set otherwise.
+func pfpHashSet(step func(*relation.Set) (*relation.Set, error), m int, msp *relation.Space, budget int) (*relation.Set, error) {
+	cur := relation.NewSet(m)
+	seen := map[uint64][]*relation.Set{}
+	key := func(s *relation.Set) (uint64, error) {
+		d, err := s.ToDense(msp)
+		if err != nil {
+			return 0, err
+		}
+		h := d.Hash()
+		d.Release()
+		return h, nil
+	}
+	k, err := key(cur)
+	if err != nil {
+		return nil, err
+	}
+	seen[k] = append(seen[k], cur)
+	for i := 0; i < budget; i++ {
+		next, err := step(cur)
+		if err != nil {
+			return nil, err
+		}
+		if next.Equal(cur) {
+			return cur, nil // converged
+		}
+		k, err := key(next)
+		if err != nil {
+			return nil, err
+		}
+		for _, prev := range seen[k] {
+			if prev.Equal(next) {
+				// Revisited an earlier stage without convergence: the run is
+				// periodic with period > 1, so the limit does not exist.
+				return relation.NewSet(m), nil
+			}
+		}
+		seen[k] = append(seen[k], next)
+		cur = next
+	}
+	return nil, fmt.Errorf("eval: pfp run exceeded %d stages: %w", budget, ErrBudget)
 }
 
 // holdsSO enumerates every relation of the quantified arity — the

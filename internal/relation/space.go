@@ -2,6 +2,9 @@ package relation
 
 import (
 	"fmt"
+	"sync"
+
+	"repro/internal/bitset"
 )
 
 // MaxDenseBits bounds the size of a single dense relation. A Space whose nᵏ
@@ -18,6 +21,24 @@ type Space struct {
 	n      int
 	size   int
 	stride []int
+
+	// pool recycles nᵏ-bit backing sets for the Dense relations of this
+	// space, so that evaluators iterating thousands of subformula visits do
+	// not allocate a fresh bitmap per visit. Sets in the pool hold arbitrary
+	// stale contents; every consumer clears, fills or overwrites.
+	pool sync.Pool
+
+	// mu guards the lazily built per-space caches below. A Space may be
+	// shared by concurrent evaluation workers (the parallel PFP sweep).
+	mu sync.Mutex
+	// diag caches the bitmap of each Diagonal(i, j) so repeated equality
+	// subformulas inside fixpoint bodies cost a word-copy, not a decode of
+	// every point.
+	diag map[[2]int]*bitset.Set
+	// tmpl caches, per axis, the slab-template mask { p | p mod (stride·n)
+	// < stride }: the positions holding the folded slab of each block in the
+	// masked-word quantifier path.
+	tmpl []*bitset.Set
 }
 
 // NewSpace returns the space of k-ary relations over a domain of n elements.
@@ -116,4 +137,65 @@ func (sp *Space) Coord(idx, i int) int {
 // SameShape reports whether two spaces have identical arity and domain.
 func (sp *Space) SameShape(other *Space) bool {
 	return sp.k == other.k && sp.n == other.n
+}
+
+// getBits returns an nᵏ-bit set with arbitrary contents, recycled from the
+// space's scratch pool when possible.
+func (sp *Space) getBits() *bitset.Set {
+	if v := sp.pool.Get(); v != nil {
+		return v.(*bitset.Set)
+	}
+	return bitset.New(sp.size)
+}
+
+// putBits returns a set obtained from getBits to the pool. The caller must
+// not retain any reference to it.
+func (sp *Space) putBits(b *bitset.Set) {
+	if b != nil {
+		sp.pool.Put(b)
+	}
+}
+
+// diagonalMask returns the cached bitmap of { t | t_i = t_j }, building it on
+// first use. The returned set is shared and must not be mutated.
+func (sp *Space) diagonalMask(i, j int) *bitset.Set {
+	key := [2]int{i, j}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.diag == nil {
+		sp.diag = make(map[[2]int]*bitset.Set)
+	}
+	if m, ok := sp.diag[key]; ok {
+		return m
+	}
+	m := bitset.New(sp.size)
+	for idx := 0; idx < sp.size; idx++ {
+		if sp.Coord(idx, i) == sp.Coord(idx, j) {
+			m.Set(idx)
+		}
+	}
+	sp.diag[key] = m
+	return m
+}
+
+// slabTemplate returns the cached mask of slab positions for axis i: the
+// bits p with p mod (stride·n) < stride. The returned set is shared and must
+// not be mutated.
+func (sp *Space) slabTemplate(i int) *bitset.Set {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if sp.tmpl == nil {
+		sp.tmpl = make([]*bitset.Set, sp.k)
+	}
+	if sp.tmpl[i] != nil {
+		return sp.tmpl[i]
+	}
+	m := bitset.New(sp.size)
+	s := sp.stride[i]
+	block := s * sp.n
+	for b := 0; b+s <= sp.size; b += block {
+		m.SetRange(b, s)
+	}
+	sp.tmpl[i] = m
+	return m
 }
