@@ -1,14 +1,17 @@
 GO ?= go
 
-.PHONY: all build test vet race bench sweep examples cover clean check
+.PHONY: all build test vet docs race bench sweep examples cover clean check serve
 
 all: vet test build
 
-# check is the pre-merge gate: static analysis plus the full suite under the
-# race detector (the parallel PFP sweep makes -race meaningful).
-check:
+# check is the pre-merge gate: static analysis, the documentation checks,
+# the full suite under the race detector (the parallel PFP sweep and the
+# bvqd single-flight path make -race meaningful), and the server tests on
+# their own so a serving regression is visible by name.
+check: docs
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/
 
 build:
 	$(GO) build ./...
@@ -17,7 +20,22 @@ test:
 	$(GO) test ./...
 
 vet:
-	gofmt -l . && $(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files need formatting"; exit 1; }
+	$(GO) vet ./...
+
+# docs verifies the documentation surface: formatting, vet, the runnable
+# godoc examples, and a `go doc` smoke pass over the public entry points.
+docs:
+	@test -z "$$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files need formatting"; exit 1; }
+	$(GO) vet ./...
+	$(GO) test -run Example .
+	@$(GO) doc . >/dev/null
+	@$(GO) doc . EvalContext >/dev/null
+	@$(GO) doc . FindCertificate >/dev/null
+	@$(GO) doc . ModelCheck >/dev/null
+	@$(GO) doc ./internal/server >/dev/null
+	@$(GO) doc ./internal/cache >/dev/null
+	@echo "docs: gofmt clean, examples pass, go doc smoke ok"
 
 race:
 	$(GO) test -race ./...
@@ -32,6 +50,14 @@ sweep:
 sweep-quick:
 	$(GO) run ./cmd/bvqbench -quick
 
+# serve runs the bvqd query daemon on the bundled example databases
+# (OPERATIONS.md documents the endpoints; -ordered enables the fixpoint
+# queries that need the built-in linear order).
+serve:
+	$(GO) run ./cmd/bvqd -ordered \
+		-db graph=examples/data/graph.db \
+		-db corp=examples/data/corporate.db
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/employees
@@ -39,6 +65,7 @@ examples:
 	$(GO) run ./examples/modelcheck
 	$(GO) run ./examples/qbfhardness
 	$(GO) run ./examples/expression
+	$(GO) run ./examples/server
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./...

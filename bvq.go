@@ -29,6 +29,7 @@
 package bvq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/database"
@@ -140,32 +141,65 @@ func EngineByName(name string) (Engine, error) {
 
 // Eval evaluates q against db with the selected engine. The answer is a
 // relation over domain indices 0..n−1 (use Database.Value to map back to
-// the raw domain).
+// the raw domain). Eval is EvalContext with context.Background — the
+// original, uncancellable entry point.
 func Eval(q Query, db *Database, engine Engine) (*Relation, error) {
 	ans, _, err := EvalStats(q, db, engine, nil)
+	return ans, err
+}
+
+// EvalContext is Eval honoring a context: cancellation and deadlines are
+// observed at iteration boundaries (between fixpoint stages for
+// EngineBottomUp/EngineMonotone, between head assignments and fixpoint
+// stages for EngineNaive, between relational operations for EngineAlgebra,
+// and between the prover and verifier passes for EngineCertified), so a
+// returned answer is always byte-identical to an uncancelled run. When the
+// context fires, the error wraps ctx.Err(); test for it with
+// errors.Is(err, context.DeadlineExceeded) or context.Canceled.
+func EvalContext(ctx context.Context, q Query, db *Database, engine Engine) (*Relation, error) {
+	ans, _, err := EvalStatsContext(ctx, q, db, engine, nil)
 	return ans, err
 }
 
 // EvalStats is Eval with options and work statistics (statistics may be nil
 // for engines that do not report them).
 func EvalStats(q Query, db *Database, engine Engine, opts *Options) (*Relation, *Stats, error) {
+	return EvalStatsContext(context.Background(), q, db, engine, opts)
+}
+
+// EvalStatsContext is EvalContext with options and work statistics. When the
+// context fires mid-evaluation, the returned Stats — where the engine
+// reports them — hold the work completed up to the cancellation point (a
+// partial reading; the answer is nil).
+func EvalStatsContext(ctx context.Context, q Query, db *Database, engine Engine, opts *Options) (*Relation, *Stats, error) {
 	switch engine {
 	case EngineBottomUp:
-		return eval.BottomUpStats(q, db, opts)
+		return eval.BottomUpContext(ctx, q, db, opts)
 	case EngineNaive:
-		ans, err := eval.Naive(q, db)
+		ans, err := eval.NaiveContext(ctx, q, db)
 		return ans, nil, err
 	case EngineAlgebra:
-		return eval.AlgebraStats(q, db)
+		return eval.AlgebraContext(ctx, q, db)
 	case EngineMonotone:
-		return eval.MonotoneStats(q, db)
+		return eval.MonotoneContext(ctx, q, db)
 	case EngineESO:
+		// The grounding+SAT pipeline has no internal cancellation points;
+		// honor an already-expired context before starting.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("bvq: cancelled: %w", err)
+		}
 		ans, err := eso.Eval(q, db)
 		return ans, nil, err
 	case EngineCertified:
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("bvq: cancelled: %w", err)
+		}
 		cert, res, err := eval.FindCertificate(q, db)
 		if err != nil {
 			return nil, nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("bvq: cancelled: %w", err)
 		}
 		ver, err := eval.VerifyCertificate(q, db, cert)
 		if err != nil {
@@ -182,11 +216,17 @@ func EvalStats(q Query, db *Database, engine Engine, opts *Options) (*Relation, 
 
 // Holds evaluates a sentence (a Boolean query) with the given engine.
 func Holds(f Formula, db *Database, engine Engine) (bool, error) {
+	return HoldsContext(context.Background(), f, db, engine)
+}
+
+// HoldsContext is Holds honoring a context (see EvalContext for the
+// cancellation granularity).
+func HoldsContext(ctx context.Context, f Formula, db *Database, engine Engine) (bool, error) {
 	q, err := logic.NewQuery(nil, f)
 	if err != nil {
 		return false, err
 	}
-	ans, err := Eval(q, db, engine)
+	ans, err := EvalContext(ctx, q, db, engine)
 	if err != nil {
 		return false, err
 	}

@@ -90,25 +90,36 @@ func run(dbPath, query, qFile, engineName string, k int, stats, showIdx bool, st
 		}
 	}
 	if q.Arity() == 0 {
+		verdict := "false"
 		if ans.Len() > 0 {
-			fmt.Fprintln(stdout, "true")
-		} else {
-			fmt.Fprintln(stdout, "false")
+			verdict = "true"
 		}
-		return nil
+		return emit(stdout, verdict)
 	}
 	tuples := ans.Tuples()
 	for _, t := range tuples {
-		if showIdx {
-			fmt.Fprintln(stdout, t.String())
-			continue
+		line := t.String()
+		if !showIdx {
+			raw := make(relation.Tuple, len(t))
+			for i, v := range t {
+				raw[i] = db.Value(v)
+			}
+			line = raw.String()
 		}
-		raw := make(relation.Tuple, len(t))
-		for i, v := range t {
-			raw[i] = db.Value(v)
+		if err := emit(stdout, line); err != nil {
+			return err
 		}
-		fmt.Fprintln(stdout, raw.String())
 	}
 	fmt.Fprintf(stderr, "%d tuple(s)\n", ans.Len())
+	return nil
+}
+
+// emit writes one answer line and surfaces the write error, so a broken
+// pipe or full disk fails the run (exit 1) instead of silently truncating
+// the answer with exit status 0.
+func emit(stdout io.Writer, line string) error {
+	if _, err := fmt.Fprintln(stdout, line); err != nil {
+		return fmt.Errorf("writing answer: %w", err)
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -120,5 +121,44 @@ func TestRunErrors(t *testing.T) {
 		if err := c.fn(); err == nil {
 			t.Errorf("%s: no error", c.name)
 		}
+	}
+}
+
+// failWriter simulates a broken pipe / full disk after n successful writes.
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("simulated write failure")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestRunPropagatesWriteErrors is the regression test for the silent-
+// truncation bug: a failed stdout write used to be discarded, so a run whose
+// answer never reached the user still exited 0. run must now surface the
+// write error (and main turns any error into exit status 1).
+func TestRunPropagatesWriteErrors(t *testing.T) {
+	db := writeDB(t)
+	var errw strings.Builder
+	cases := []struct {
+		name  string
+		query string
+	}{
+		{"tuple answer", "(x, y). exists z. E(x, z) & E(z, y)"},
+		{"boolean answer", "(). exists x. P(x)"},
+	}
+	for _, c := range cases {
+		err := run(db, c.query, "", "bottomup", 0, false, false, &failWriter{}, &errw)
+		if err == nil {
+			t.Errorf("%s: write failure not propagated", c.name)
+		} else if !strings.Contains(err.Error(), "simulated write failure") {
+			t.Errorf("%s: err = %v", c.name, err)
+		}
+	}
+	// Failure mid-answer (first tuple written, second fails) must also fail.
+	if err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 0, false, false, &failWriter{n: 1}, &errw); err == nil {
+		t.Error("mid-answer write failure not propagated")
 	}
 }

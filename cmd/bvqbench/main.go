@@ -30,10 +30,27 @@ import (
 
 var quick = flag.Bool("quick", false, "smaller sweeps")
 
+// writeErr records the first failed write to stdout. Sweep tables are the
+// tool's entire product, so a broken pipe or full disk must turn into exit
+// status 1 rather than a silently truncated report.
+var writeErr error
+
+func outf(format string, a ...any) {
+	if _, err := fmt.Fprintf(os.Stdout, format, a...); err != nil && writeErr == nil {
+		writeErr = err
+	}
+}
+
+func outln(a ...any) {
+	if _, err := fmt.Fprintln(os.Stdout, a...); err != nil && writeErr == nil {
+		writeErr = err
+	}
+}
+
 func main() {
 	flag.Parse()
-	fmt.Println("bvqbench — reproduction sweeps for Vardi, PODS 1995 (Tables 1–3)")
-	fmt.Println()
+	outln("bvqbench — reproduction sweeps for Vardi, PODS 1995 (Tables 1–3)")
+	outln()
 	t1data()
 	t2fo()
 	t2foHardness()
@@ -48,7 +65,11 @@ func main() {
 	appMu()
 	appCTL()
 	optJoins()
-	fmt.Println("all sweeps completed; all cross-checks passed")
+	outln("all sweeps completed; all cross-checks passed")
+	if writeErr != nil {
+		fmt.Fprintln(os.Stderr, "bvqbench: writing output:", writeErr)
+		os.Exit(1)
+	}
 }
 
 func die(err error) {
@@ -65,7 +86,7 @@ func timeIt(fn func()) time.Duration {
 }
 
 func header(id, claim string) {
-	fmt.Printf("== %s — %s\n", id, claim)
+	outf("== %s — %s\n", id, claim)
 }
 
 // ---- Table 1: data complexity (fixed queries, growing databases) ----
@@ -92,7 +113,7 @@ func t1data() {
 			logic.Or(logic.R("S", "x"), logic.Or(logic.R("P", "x"),
 				logic.Exists(logic.And(logic.R("E", "z", "x"),
 					logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z"))), "u"))
-	fmt.Printf("   %-4s %12s %12s %12s %12s\n", "n", "FO³ 2-hop", "FP³ reach", "ESO² 2col", "PFP² grow")
+	outf("   %-4s %12s %12s %12s %12s\n", "n", "FO³ 2-hop", "FP³ reach", "ESO² 2col", "PFP² grow")
 	for _, n := range sizes {
 		db := workload.RandomGraph(int64(n), n, 4)
 		tFO := timeIt(func() {
@@ -111,15 +132,15 @@ func t1data() {
 			_, err := eval.BottomUp(pfpGrow, db)
 			die(err)
 		})
-		fmt.Printf("   %-4d %12s %12s %12s %12s\n", n,
+		outf("   %-4d %12s %12s %12s %12s\n", n,
 			tFO.Round(time.Microsecond), tFP.Round(time.Microsecond),
 			tESO.Round(time.Microsecond), tPFP.Round(time.Microsecond))
 	}
-	fmt.Println("   shape: with the queries fixed, all four languages scale polynomially")
-	fmt.Println("   in the data (ESO through SAT is NP but benign on these instances) —")
-	fmt.Println("   the exponential blow-ups of the other sweeps come from growing the")
-	fmt.Println("   *expression*, never the data. ✓")
-	fmt.Println()
+	outln("   shape: with the queries fixed, all four languages scale polynomially")
+	outln("   in the data (ESO through SAT is NP but benign on these instances) —")
+	outln("   the exponential blow-ups of the other sweeps come from growing the")
+	outln("   *expression*, never the data. ✓")
+	outln()
 }
 
 // ---- Table 2, row FO ----
@@ -132,7 +153,7 @@ func t2fo() {
 	if *quick {
 		naiveMax, buMax = 3, 16
 	}
-	fmt.Printf("   %-4s %14s %14s\n", "m", "naive", "bottomup")
+	outf("   %-4s %14s %14s\n", "m", "naive", "bottomup")
 	for m := 2; m <= buMax; m *= 2 {
 		q, err := queryopt.ChainToFO3(m)
 		die(err)
@@ -158,10 +179,10 @@ func t2fo() {
 				die(fmt.Errorf("T2-FO: engines disagree at m=%d", m))
 			}
 		}
-		fmt.Printf("   %-4d %14s %14s\n", m, ns, tb.Round(time.Microsecond))
+		outf("   %-4d %14s %14s\n", m, ns, tb.Round(time.Microsecond))
 	}
-	fmt.Println("   shape: naive grows exponentially with m; bottom-up ~linearly. ✓")
-	fmt.Println()
+	outln("   shape: naive grows exponentially with m; bottom-up ~linearly. ✓")
+	outln()
 }
 
 // ---- Table 2, row FO hardness (Prop 3.2) ----
@@ -172,7 +193,7 @@ func t2foHardness() {
 	if *quick {
 		sizes = []int{4, 8}
 	}
-	fmt.Printf("   %-4s %8s %12s %12s %8s\n", "n", "|φ_n|", "reduction", "direct", "agree")
+	outf("   %-4s %8s %12s %12s %8s\n", "n", "|φ_n|", "reduction", "direct", "agree")
 	for _, n := range sizes {
 		r := rand.New(rand.NewSource(int64(n)))
 		agree := true
@@ -197,14 +218,14 @@ func t2foHardness() {
 				agree = false
 			}
 		}
-		fmt.Printf("   %-4d %8d %12s %12s %8v\n", n, size,
+		outf("   %-4d %8d %12s %12s %8v\n", n, size,
 			(tr / 5).Round(time.Microsecond), (td / 5).Round(time.Microsecond), agree)
 		if !agree {
 			die(fmt.Errorf("T2-FO-h: reduction disagreed"))
 		}
 	}
-	fmt.Println("   shape: reduction size linear in n; answers agree on 100% of instances. ✓")
-	fmt.Println()
+	outln("   shape: reduction size linear in n; answers agree on 100% of instances. ✓")
+	outln()
 }
 
 // ---- Table 2, row FP (Thm 3.5) ----
@@ -220,7 +241,7 @@ func t2fp() {
 	if *quick {
 		sizes = []int{8, 16, 24}
 	}
-	fmt.Printf("   %-4s %12s %12s %12s %12s %10s\n", "n", "naive-iters", "verify-iters", "naive", "verify", "|cert|")
+	outf("   %-4s %12s %12s %12s %12s %10s\n", "n", "naive-iters", "verify-iters", "naive", "verify", "|cert|")
 	for _, n := range sizes {
 		db := workload.LineGraph(n)
 		var naiveIters, verifyIters int64
@@ -243,16 +264,16 @@ func t2fp() {
 			die(fmt.Errorf("T2-FP: verified answer differs at n=%d", n))
 		}
 		_, certElems, certTuples := cert.Size()
-		fmt.Printf("   %-4d %12d %12d %12s %12s %10s\n", n, naiveIters, verifyIters,
+		outf("   %-4d %12d %12d %12s %12s %10s\n", n, naiveIters, verifyIters,
 			tn.Round(time.Microsecond), tv.Round(time.Microsecond),
 			fmt.Sprintf("%d/%d", certElems, certTuples))
 	}
-	fmt.Println("   shape: naive iterations grow quadratically in n (the n^{kl} effect at")
-	fmt.Println("   alternation depth 2); the verifier replays the guessed certificate in a")
-	fmt.Println("   constant number of body evaluations here — l·nᵏ in general. The witness")
-	fmt.Println("   (|cert| = chain sets/tuples) is polynomial — here the guessed gfp is ∅,")
-	fmt.Println("   the smallest possible post-fixpoint. ✓")
-	fmt.Println()
+	outln("   shape: naive iterations grow quadratically in n (the n^{kl} effect at")
+	outln("   alternation depth 2); the verifier replays the guessed certificate in a")
+	outln("   constant number of body evaluations here — l·nᵏ in general. The witness")
+	outln("   (|cert| = chain sets/tuples) is polynomial — here the guessed gfp is ∅,")
+	outln("   the smallest possible post-fixpoint. ✓")
+	outln()
 }
 
 // shrinkingNuMu is νS.(∃succ ∈ S ∧ µT.((P∧S) ∨ ∃pred ∈ T)) applied at x.
@@ -309,7 +330,7 @@ func t2ifp() {
 	if *quick {
 		sizes = []int{8, 16}
 	}
-	fmt.Printf("   %-4s %12s %12s %8s\n", "n", "lfp", "ifp", "agree")
+	outf("   %-4s %12s %12s %8s\n", "n", "lfp", "ifp", "agree")
 	for _, n := range sizes {
 		db := workload.LineGraph(n)
 		var a1, a2 interface{ Len() int }
@@ -327,15 +348,15 @@ func t2ifp() {
 		if !agree {
 			die(fmt.Errorf("T2-IFP: ifp and lfp disagree at n=%d", n))
 		}
-		fmt.Printf("   %-4d %12s %12s %8v\n", n,
+		outf("   %-4d %12s %12s %8v\n", n,
 			tl.Round(time.Microsecond), ti.Round(time.Microsecond), agree)
 	}
 	if _, _, err := eval.FindCertificate(ifpQ, workload.LineGraph(8)); err == nil {
 		die(fmt.Errorf("T2-IFP: certificate prover accepted an ifp query"))
 	}
-	fmt.Println("   shape: ifp tracks lfp on positive bodies; the Theorem 3.5 prover")
-	fmt.Println("   correctly refuses IFP (the paper's open gap, end of §3.2). ✓")
-	fmt.Println()
+	outln("   shape: ifp tracks lfp on positive bodies; the Theorem 3.5 prover")
+	outln("   correctly refuses IFP (the paper's open gap, end of §3.2). ✓")
+	outln()
 }
 
 // ---- Table 2, row ESO (Lemma 3.6 / Cor 3.7) ----
@@ -347,7 +368,7 @@ func t2eso() {
 	if *quick {
 		arities = []int{2, 3, 4}
 	}
-	fmt.Printf("   %-6s %12s %12s %10s %10s\n", "arity", "naive", "reduced+SAT", "asserts", "cnfvars")
+	outf("   %-6s %12s %12s %10s %10s\n", "arity", "naive", "reduced+SAT", "asserts", "cnfvars")
 	for _, a := range arities {
 		f := esoQuery(a)
 		naiveRan := a <= 4
@@ -375,12 +396,12 @@ func t2eso() {
 				die(fmt.Errorf("T2-ESO: engines disagree at arity %d", a))
 			}
 		}
-		fmt.Printf("   %-6d %12s %12s %10d %10d\n", a, ns,
+		outf("   %-6d %12s %12s %10d %10d\n", a, ns,
 			tr.Round(time.Microsecond), st.Assertions, st.CNFVars)
 	}
-	fmt.Println("   shape: naive explodes by arity 4 (2^16 candidates); the reduction stays")
-	fmt.Println("   polynomial and reaches arities the naive algorithm cannot. ✓")
-	fmt.Println()
+	outln("   shape: naive explodes by arity 4 (2^16 candidates); the reduction stays")
+	outln("   polynomial and reaches arities the naive algorithm cannot. ✓")
+	outln()
 }
 
 func esoQuery(a int) logic.Formula {
@@ -415,7 +436,7 @@ func t2pfp() {
 	if *quick {
 		sizes = []int{8, 16}
 	}
-	fmt.Printf("   %-4s %12s %12s %12s %12s\n", "n", "hash", "hash-iters", "brent", "brent-iters")
+	outf("   %-4s %12s %12s %12s %12s\n", "n", "hash", "hash-iters", "brent", "brent-iters")
 	for _, n := range sizes {
 		db := workload.LineGraph(n)
 		var hi, bi int64
@@ -435,7 +456,7 @@ func t2pfp() {
 		if a1.Len() != a2.Len() {
 			die(fmt.Errorf("T2-PFP: cycle modes disagree at n=%d", n))
 		}
-		fmt.Printf("   %-4d %12s %12d %12s %12d\n", n,
+		outf("   %-4d %12s %12d %12s %12d\n", n,
 			th.Round(time.Microsecond), hi, tb.Round(time.Microsecond), bi)
 	}
 	// The binary counter: a width-2 PFP run of length 2ⁿ over an ordered
@@ -446,8 +467,8 @@ func t2pfp() {
 	if *quick {
 		counterSizes = []int{6, 8, 10}
 	}
-	fmt.Printf("   binary counter (divergent, limit ∅):\n")
-	fmt.Printf("   %-4s %12s %12s\n", "n", "stages", "time")
+	outf("   binary counter (divergent, limit ∅):\n")
+	outf("   %-4s %12s %12s\n", "n", "stages", "time")
 	for _, n := range counterSizes {
 		b := database.NewBuilder()
 		for i := 0; i < n; i++ {
@@ -466,12 +487,12 @@ func t2pfp() {
 			}
 			stages = st.FixIterations
 		})
-		fmt.Printf("   %-4d %12d %12s\n", n, stages, tc.Round(time.Microsecond))
+		outf("   %-4d %12d %12s\n", n, stages, tc.Round(time.Microsecond))
 	}
-	fmt.Println("   shape: both modes agree; Brent pays ~3× stages for O(1) live")
-	fmt.Println("   relations; the counter's stage count doubles with each added element")
-	fmt.Println("   (2ⁿ — exponentially long runs at polynomial space). ✓")
-	fmt.Println()
+	outln("   shape: both modes agree; Brent pays ~3× stages for O(1) live")
+	outln("   relations; the counter's stage count doubles with each added element")
+	outln("   (2ⁿ — exponentially long runs at polynomial space). ✓")
+	outln()
 }
 
 // counterQuery is the width-2 binary-increment PFP query (see
@@ -505,7 +526,7 @@ func t3fo() {
 	if warm, err := grammar.Compile(logic.Exists(logic.R("P", "x"), "x")); err == nil {
 		_, _ = ev.Eval(warm)
 	}
-	fmt.Printf("   %-8s %12s %14s\n", "|word|", "stack-pass", "ns/token")
+	outf("   %-8s %12s %14s\n", "|word|", "stack-pass", "ns/token")
 	for _, depthTarget := range sizes {
 		// Build a BFVP instance of roughly the target size and compile it.
 		var f prop.Formula = prop.Const(true)
@@ -530,13 +551,13 @@ func t3fo() {
 		if got != want {
 			die(fmt.Errorf("T3-FO: stack pass computed %v, want %v", got, want))
 		}
-		fmt.Printf("   %-8d %12s %14.1f\n", len(word), t.Round(time.Microsecond),
+		outf("   %-8d %12s %14.1f\n", len(word), t.Round(time.Microsecond),
 			float64(t.Nanoseconds())/float64(len(word)))
 	}
-	fmt.Println("   shape: ns/token is flat — evaluation is linear in the expression,")
-	fmt.Println("   independent of nesting (ALOGTIME's laptop-scale shadow). Thm 4.4's BFVP")
-	fmt.Println("   instances embed and evaluate correctly. ✓")
-	fmt.Println()
+	outln("   shape: ns/token is flat — evaluation is linear in the expression,")
+	outln("   independent of nesting (ALOGTIME's laptop-scale shadow). Thm 4.4's BFVP")
+	outln("   instances embed and evaluate correctly. ✓")
+	outln()
 }
 
 // ---- Table 3, row FP ----
@@ -551,7 +572,7 @@ func t3fp() {
 	if *quick {
 		depths = []int{1, 2}
 	}
-	fmt.Printf("   %-6s %8s %12s %12s\n", "depth", "|e|", "naive", "verify")
+	outf("   %-6s %8s %12s %12s\n", "depth", "|e|", "naive", "verify")
 	for _, d := range depths {
 		q := deepShrinking(d)
 		var tn, tv time.Duration
@@ -571,13 +592,13 @@ func t3fp() {
 		if ans1.Len() != ans2.Len() {
 			die(fmt.Errorf("T3-FP: verified answer differs at depth %d", d))
 		}
-		fmt.Printf("   %-6d %8d %12s %12s\n", d, logic.Size(q.Body),
+		outf("   %-6d %8d %12s %12s\n", d, logic.Size(q.Body),
 			tn.Round(time.Microsecond), tv.Round(time.Microsecond))
 	}
-	fmt.Println("   shape: over the fixed database, naive cost grows rapidly with the")
-	fmt.Println("   alternation depth of the expression while verification stays flat —")
-	fmt.Println("   the NP∩co-NP expression-complexity row of Table 3. ✓")
-	fmt.Println()
+	outln("   shape: over the fixed database, naive cost grows rapidly with the")
+	outln("   alternation depth of the expression while verification stays flat —")
+	outln("   the NP∩co-NP expression-complexity row of Table 3. ✓")
+	outln()
 }
 
 // deepShrinking nests the shrinking νµ pattern d times: ν over µ over ν …,
@@ -624,7 +645,7 @@ func t3eso() {
 	if *quick {
 		sizes = []int{8, 16}
 	}
-	fmt.Printf("   %-6s %12s %12s %8s\n", "vars", "reduction", "directSAT", "agree")
+	outf("   %-6s %12s %12s %8s\n", "vars", "reduction", "directSAT", "agree")
 	for _, vars := range sizes {
 		r := rand.New(rand.NewSource(int64(vars)))
 		agree := true
@@ -647,14 +668,14 @@ func t3eso() {
 				agree = false
 			}
 		}
-		fmt.Printf("   %-6d %12s %12s %8v\n", vars,
+		outf("   %-6d %12s %12s %8v\n", vars,
 			(tr / 5).Round(time.Microsecond), (td / 5).Round(time.Microsecond), agree)
 		if !agree {
 			die(fmt.Errorf("T3-ESO: reduction disagreed"))
 		}
 	}
-	fmt.Println("   shape: the reduction is linear-size and its cost tracks SAT. ✓")
-	fmt.Println()
+	outln("   shape: the reduction is linear-size and its cost tracks SAT. ✓")
+	outln()
 }
 
 // ---- Table 3, row PFP (Thm 4.6) ----
@@ -666,7 +687,7 @@ func t3pfp() {
 	if *quick {
 		sizes = []int{2, 4, 6}
 	}
-	fmt.Printf("   %-4s %8s %12s %12s %8s\n", "l", "|query|", "reduction", "direct", "agree")
+	outf("   %-4s %8s %12s %12s %8s\n", "l", "|query|", "reduction", "direct", "agree")
 	for _, l := range sizes {
 		r := rand.New(rand.NewSource(int64(l)))
 		agree := true
@@ -692,15 +713,15 @@ func t3pfp() {
 				agree = false
 			}
 		}
-		fmt.Printf("   %-4d %8d %12s %12s %8v\n", l, size,
+		outf("   %-4d %8d %12s %12s %8v\n", l, size,
 			(tr / 3).Round(time.Microsecond), (td / 3).Round(time.Microsecond), agree)
 		if !agree {
 			die(fmt.Errorf("T3-PFP: reduction disagreed"))
 		}
 	}
-	fmt.Println("   shape: query size linear in l, evaluation exponential in l over the")
-	fmt.Println("   fixed two-element database (PSPACE-hardness in action). ✓")
-	fmt.Println()
+	outln("   shape: query size linear in l, evaluation exponential in l over the")
+	outln("   fixed two-element database (PSPACE-hardness in action). ✓")
+	outln()
 }
 
 // ---- Application: µ-calculus (§1) ----
@@ -712,7 +733,7 @@ func appMu() {
 	if *quick {
 		sizes = []int{8, 16}
 	}
-	fmt.Printf("   %-4s %12s %12s %12s %8s\n", "n", "direct", "viaFP2", "certified", "agree")
+	outf("   %-4s %12s %12s %12s %8s\n", "n", "direct", "viaFP2", "certified", "agree")
 	for _, n := range sizes {
 		k := workload.RandomKripke(int64(n), n, 3)
 		var s1, s2, s3 interface{ Count() int }
@@ -732,15 +753,15 @@ func appMu() {
 			s3 = s
 		})
 		agree := s1.Count() == s2.Count() && s1.Count() == s3.Count()
-		fmt.Printf("   %-4d %12s %12s %12s %8v\n", n,
+		outf("   %-4d %12s %12s %12s %8v\n", n,
 			t1.Round(time.Microsecond), t2.Round(time.Microsecond), t3.Round(time.Microsecond), agree)
 		if !agree {
 			die(fmt.Errorf("APP-MU: model checkers disagree at n=%d", n))
 		}
 	}
-	fmt.Println("   shape: the alternation-depth-2 property checks identically through all")
-	fmt.Println("   three routes; the FP² translation has width 2. ✓")
-	fmt.Println()
+	outln("   shape: the alternation-depth-2 property checks identically through all")
+	outln("   three routes; the FP² translation has width 2. ✓")
+	outln()
 }
 
 // ---- Application: CTL (extension over [CES86]) ----
@@ -755,7 +776,7 @@ func appCTL() {
 	if *quick {
 		sizes = []int{8, 16}
 	}
-	fmt.Printf("   %-4s %12s %12s %12s %8s\n", "n", "CTL direct", "µ-calculus", "FP²", "agree")
+	outf("   %-4s %12s %12s %12s %8s\n", "n", "CTL direct", "µ-calculus", "FP²", "agree")
 	for _, n := range sizes {
 		k := workload.RandomKripke(int64(n)+7, n, 3)
 		var s1, s2, s3 interface{ Count() int }
@@ -780,16 +801,16 @@ func appCTL() {
 		if !agree {
 			die(fmt.Errorf("APP-CTL: checkers disagree at n=%d", n))
 		}
-		fmt.Printf("   %-4d %12s %12s %12s %8v\n", n,
+		outf("   %-4d %12s %12s %12s %8v\n", n,
 			t1.Round(time.Microsecond), t2.Round(time.Microsecond), t3.Round(time.Microsecond), agree)
 	}
 	if d := logic.DependentAlternationDepth(mustFP2(spec)); d > 1 {
 		die(fmt.Errorf("APP-CTL: translation not dependently alternation-free"))
 	}
-	fmt.Println("   shape: the CTL property checks identically through direct semantics,")
-	fmt.Println("   its µ-calculus translation, and FP²; its dependent alternation depth")
-	fmt.Println("   is 1, so the warm-start Monotone evaluator applies. ✓")
-	fmt.Println()
+	outln("   shape: the CTL property checks identically through direct semantics,")
+	outln("   its µ-calculus translation, and FP²; its dependent alternation depth")
+	outln("   is 1, so the warm-start Monotone evaluator applies. ✓")
+	outln()
 }
 
 func mustFP2(spec mucalc.CTL) logic.Formula {
@@ -818,7 +839,7 @@ func optJoins() {
 	if *quick {
 		sizes = []int{4, 8}
 	}
-	fmt.Printf("   %-4s %12s %10s %12s %10s\n", "ne", "naive", "max-arity", "yannakakis", "max-arity")
+	outf("   %-4s %12s %10s %12s %10s\n", "ne", "naive", "max-arity", "yannakakis", "max-arity")
 	for _, ne := range sizes {
 		db := workload.Corporate(int64(ne), ne)
 		var nst, yst *queryopt.Stats
@@ -838,7 +859,7 @@ func optJoins() {
 		if a1.Len() != a2.Len() {
 			die(fmt.Errorf("OPT: plans disagree at ne=%d", ne))
 		}
-		fmt.Printf("   %-4d %12s %10d %12s %10d\n", ne,
+		outf("   %-4d %12s %10d %12s %10d\n", ne,
 			tn.Round(time.Microsecond), nst.MaxIntermediateArity,
 			ty.Round(time.Microsecond), yst.MaxIntermediateArity)
 	}
@@ -856,9 +877,9 @@ func optJoins() {
 	if ansMin.Len() != ansYan.Len() {
 		die(fmt.Errorf("OPT: minimized FO form disagrees with Yannakakis"))
 	}
-	fmt.Printf("   variable minimization: direct FO width %d → minimized width %d;\n", direct.Width(), width)
-	fmt.Printf("   bottom-up max intermediate arity %d, answers agree. ✓\n", minStats.MaxIntermediateArity)
-	fmt.Println("   shape: naive time explodes with the 10-ary product; the acyclic plan")
-	fmt.Println("   stays at arity ≤ 4 with near-linear cost. ✓")
-	fmt.Println()
+	outf("   variable minimization: direct FO width %d → minimized width %d;\n", direct.Width(), width)
+	outf("   bottom-up max intermediate arity %d, answers agree. ✓\n", minStats.MaxIntermediateArity)
+	outln("   shape: naive time explodes with the 10-ary product; the acyclic plan")
+	outln("   stays at arity ≤ 4 with near-linear cost. ✓")
+	outln()
 }

@@ -1,0 +1,151 @@
+// Command bvqd serves bounded-variable query evaluation over HTTP: a
+// long-running daemon that loads one or more named databases and answers
+// queries with plan caching, result caching, single-flight dedup of
+// concurrent identical requests, per-request deadlines enforced by
+// cancellation at fixpoint-stage boundaries, and live counters.
+//
+// Usage:
+//
+//	bvqd -db graph=examples/data/graph.db [-db corp=examples/data/corporate.db] \
+//	     [-addr :8080] [-ordered] [-plan-cache 1024] [-result-cache 4096] \
+//	     [-default-timeout 10s] [-max-timeout 60s]
+//
+// Endpoints (see OPERATIONS.md for the full request/response schema):
+//
+//	POST /query    {"database": "graph", "query": "(x, y). exists z. E(x, z) & E(z, y)"}
+//	GET  /stats    JSON counters: caches, in-flight gauges, aggregate work
+//	GET  /healthz  liveness
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/database"
+	"repro/internal/server"
+)
+
+// dbFlags collects repeated -db name=path flags.
+type dbFlags map[string]string
+
+func (f dbFlags) String() string {
+	var parts []string
+	for k, v := range f {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f dbFlags) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", s)
+	}
+	if _, dup := f[name]; dup {
+		return fmt.Errorf("duplicate database name %q", name)
+	}
+	f[name] = path
+	return nil
+}
+
+func main() {
+	dbs := dbFlags{}
+	var (
+		addr           = flag.String("addr", ":8080", "listen address")
+		ordered        = flag.Bool("ordered", false, "augment every database with the built-in linear order (enables PTIME-complete FP queries over ordered structures)")
+		planCache      = flag.Int("plan-cache", server.DefaultPlanCacheSize, "plan cache capacity in entries (negative disables)")
+		resultCache    = flag.Int("result-cache", server.DefaultResultCacheSize, "result cache capacity in entries (negative disables)")
+		defaultTimeout = flag.Duration("default-timeout", 10*time.Second, "evaluation deadline for requests that do not set timeout_ms (0: none)")
+		maxTimeout     = flag.Duration("max-timeout", time.Minute, "upper clamp on per-request deadlines (0: none)")
+	)
+	flag.Var(dbs, "db", "serve a database as name=path (repeatable); required")
+	flag.Parse()
+	if err := run(dbs, *addr, *ordered, *planCache, *resultCache, *defaultTimeout, *maxTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "bvqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dbs dbFlags, addr string, ordered bool, planCache, resultCache int, defaultTimeout, maxTimeout time.Duration) error {
+	if len(dbs) == 0 {
+		return fmt.Errorf("missing -db name=path")
+	}
+	loaded, err := loadDatabases(dbs, ordered)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Databases:       loaded,
+		PlanCacheSize:   planCache,
+		ResultCacheSize: resultCache,
+		DefaultTimeout:  defaultTimeout,
+		MaxTimeout:      maxTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	for name, db := range loaded {
+		log.Printf("serving %q: domain %d, relations %v", name, db.Size(), db.Names())
+	}
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("bvqd listening on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// loadDatabases reads every -db file in the textual bvq.ParseDatabase
+// format, optionally augmenting each with the linear order on its domain.
+func loadDatabases(dbs dbFlags, ordered bool) (map[string]*database.Database, error) {
+	out := make(map[string]*database.Database, len(dbs))
+	for name, path := range dbs {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("loading %q: %w", name, err)
+		}
+		db, err := bvq.ParseDatabase(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q (%s): %w", name, path, err)
+		}
+		if ordered {
+			db, err = db.WithOrder()
+			if err != nil {
+				return nil, fmt.Errorf("ordering %q: %w", name, err)
+			}
+		}
+		out[name] = db
+	}
+	return out, nil
+}

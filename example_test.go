@@ -1,6 +1,10 @@
 package bvq_test
 
 import (
+	"context"
+	"errors"
+	"time"
+
 	"fmt"
 	"log"
 
@@ -77,4 +81,111 @@ func ExampleMinimizeWidth() {
 	_, width, _ := bvq.MinimizeWidth(q)
 	fmt.Println(width)
 	// Output: 3
+}
+
+func ExampleParseDatabase() {
+	db, err := bvq.ParseDatabase(`
+domain = {10, 20, 30}
+E/2 = {(10, 20), (20, 30)}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(db.Size(), db.Names())
+	// Output: 3 [E]
+}
+
+func ExampleParseQuery() {
+	q, err := bvq.ParseQuery("(x, y). exists z. E(x, z) & E(z, y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(q.Arity(), bvq.Width(q))
+	// Output: 2 3
+}
+
+func ExampleEvalContext() {
+	db := exampleDB()
+	q, _ := bvq.ParseQuery("(x, y). exists z. E(x, z) & E(z, y)")
+	// A deadline bounds the evaluation; cancellation is observed at
+	// iteration boundaries, so any returned answer is byte-identical to an
+	// uncancelled run. An already-expired context cancels before any work.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	ans, err := bvq.EvalContext(ctx, q, db, bvq.EngineBottomUp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans)
+
+	cancelled, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	_, err = bvq.EvalContext(cancelled, q, db, bvq.EngineBottomUp)
+	fmt.Println(errors.Is(err, context.Canceled))
+	// Output:
+	// {(0, 2), (1, 3)}
+	// true
+}
+
+func ExampleVerifyCertificate() {
+	db := exampleDB()
+	q, _ := bvq.ParseQuery(
+		"(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)")
+	cert, _, _ := bvq.FindCertificate(q, db)
+	// The verifier replays the evaluation against the certificate's chains
+	// in l·nᵏ stages — the cheap half of the Theorem 3.5 NP ∩ co-NP bound.
+	ans, err := bvq.VerifyCertificate(q, db, cert)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans)
+	// Output: {(0), (1), (2), (3)}
+}
+
+func ExampleEngineByName() {
+	for _, name := range []string{"bottomup", "naive", "algebra", "monotone", "eso", "certified"} {
+		e, err := bvq.EngineByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(e)
+	}
+	_, err := bvq.EngineByName("warpdrive")
+	fmt.Println(err != nil)
+	// Output:
+	// bottomup
+	// naive
+	// algebra
+	// monotone
+	// eso
+	// certified
+	// true
+}
+
+func ExampleHolds() {
+	db := exampleDB()
+	f, _ := bvq.ParseFormula("exists x. P(x)")
+	holds, err := bvq.Holds(f, db, bvq.EngineBottomUp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(holds)
+	// Output: true
+}
+
+func ExampleModelCheck() {
+	// A three-state cycle where p holds in state 0: "infinitely often p"
+	// holds everywhere on the cycle.
+	k := bvq.NewKripke(3)
+	k.AddEdge(0, 1)
+	k.AddEdge(1, 2)
+	k.AddEdge(2, 0)
+	k.Label(0, "p")
+	f, _ := bvq.ParseMu("nu X. mu Y. ((p & <>X) | <>Y)")
+	states, err := bvq.ModelCheck(k, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(states)
+	// Output: [0 1 2]
 }

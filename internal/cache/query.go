@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/parser"
+	"repro/internal/relation"
+)
+
+// Plan is a parsed query with its width precomputed — everything the server
+// needs before dispatching to an engine. Plans are immutable and shared
+// between requests.
+type Plan struct {
+	Query logic.Query
+	Width int
+}
+
+// PlanCache memoizes parse + width computation, keyed by the exact query
+// text. A hit skips the parser entirely.
+type PlanCache struct {
+	lru *LRU[Plan]
+}
+
+// NewPlanCache returns a plan cache holding at most max plans.
+func NewPlanCache(max int) *PlanCache { return &PlanCache{lru: NewLRU[Plan](max)} }
+
+// Load returns the plan for text, parsing and caching on a miss. The second
+// result reports whether the plan came from the cache. Parse errors are not
+// cached: a failing query re-parses on every attempt, which keeps the cache
+// free of negative entries at the cost of re-tokenizing garbage.
+func (c *PlanCache) Load(text string) (Plan, bool, error) {
+	if p, ok := c.lru.Get(text); ok {
+		return p, true, nil
+	}
+	q, err := parser.ParseQuery(text)
+	if err != nil {
+		return Plan{}, false, err
+	}
+	p := Plan{Query: q, Width: q.Width()}
+	c.lru.Put(text, p)
+	return p, false, nil
+}
+
+// Len returns the number of cached plans.
+func (c *PlanCache) Len() int { return c.lru.Len() }
+
+// Counters returns cumulative hit, miss and eviction counts.
+func (c *PlanCache) Counters() (hits, misses, evictions int64) { return c.lru.Counters() }
+
+// Result is a finished evaluation: the (immutable, shared) answer relation
+// and the work statistics of the run that produced it.
+type Result struct {
+	Answer *relation.Set
+	Stats  *eval.Stats // nil for engines that do not report statistics
+}
+
+// ResultCache memoizes evaluation results keyed by ResultKey. Soundness
+// rests on two invariants: databases are immutable after Build (so the
+// fingerprint pins the content), and every engine is deterministic (so the
+// first answer is the only answer). Cached Answer sets must be treated as
+// read-only by all consumers.
+type ResultCache struct {
+	lru *LRU[Result]
+}
+
+// NewResultCache returns a result cache holding at most max results.
+func NewResultCache(max int) *ResultCache { return &ResultCache{lru: NewLRU[Result](max)} }
+
+// Get returns the cached result for key.
+func (c *ResultCache) Get(key string) (Result, bool) { return c.lru.Get(key) }
+
+// Put stores a result under key.
+func (c *ResultCache) Put(key string, r Result) { c.lru.Put(key, r) }
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int { return c.lru.Len() }
+
+// Counters returns cumulative hit, miss and eviction counts.
+func (c *ResultCache) Counters() (hits, misses, evictions int64) { return c.lru.Counters() }
+
+// ResultKey builds the canonical result-cache key from everything that can
+// change an answer: the database content (fingerprint), the engine, the
+// answer-affecting options, and the query text. Options.Parallelism is
+// deliberately excluded — the parallel PFP sweep's merge is deterministic,
+// so requests differing only in worker count share one cache line.
+func ResultKey(fingerprint uint64, engine string, opts *eval.Options, queryText string) string {
+	var maxWidth, budget int
+	var cycle eval.CycleMode
+	if opts != nil {
+		maxWidth, budget, cycle = opts.MaxWidth, opts.PFPBudget, opts.PFPCycle
+	}
+	return fmt.Sprintf("%016x|%s|%d|%d|%d|%s", fingerprint, engine, maxWidth, budget, cycle, queryText)
+}

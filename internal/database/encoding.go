@@ -2,6 +2,8 @@ package database
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"strconv"
 	"strings"
 )
@@ -51,6 +53,21 @@ func (db *Database) Encode() string {
 
 // EncodedLen returns the length of the standard encoding.
 func (db *Database) EncodedLen() int { return len(db.Encode()) }
+
+// Fingerprint returns a stable 64-bit content hash of the database: relation
+// names and arities (the signature, which the positional standard encoding
+// omits) followed by the standard encoding itself. Databases are immutable
+// after Build, so the fingerprint identifies the content for the lifetime of
+// the value; the bvqd result cache keys on it.
+func (db *Database) Fingerprint() uint64 {
+	h := fnv.New64a()
+	for _, name := range db.names {
+		a, _ := db.Arity(name)
+		fmt.Fprintf(h, "%s/%d;", name, a)
+	}
+	io.WriteString(h, db.Encode())
+	return h.Sum64()
+}
 
 // RelDecl names one positional relation of a standard encoding.
 type RelDecl struct {

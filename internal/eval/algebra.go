@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -27,6 +28,13 @@ func Algebra(q logic.Query, db *database.Database) (*relation.Set, error) {
 
 // AlgebraStats is Algebra with work statistics.
 func AlgebraStats(q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
+	return AlgebraContext(context.Background(), q, db)
+}
+
+// AlgebraContext is AlgebraStats honoring a context: cancellation is checked
+// once per subformula (the algebra evaluator has no fixpoint iterations; its
+// unit of work is one relational operation).
+func AlgebraContext(ctx context.Context, q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
 	if err := q.Validate(signatureOf(db)); err != nil {
 		return nil, nil, err
 	}
@@ -36,10 +44,10 @@ func AlgebraStats(q logic.Query, db *database.Database) (*relation.Set, *Stats, 
 	if logic.Classify(q.Body) != logic.FragFO {
 		return nil, nil, fmt.Errorf("eval: Algebra evaluates FO only, got %v", logic.Classify(q.Body))
 	}
-	c := &algCtx{db: db, n: db.Size(), stats: &Stats{}}
+	c := &algCtx{ctx: ctx, db: db, n: db.Size(), stats: &Stats{}}
 	r, err := c.eval(q.Body)
 	if err != nil {
-		return nil, nil, err
+		return nil, c.stats, err
 	}
 	// Expand to the head schema: add unconstrained head variables, then
 	// project into head order.
@@ -61,6 +69,7 @@ type algRel struct {
 }
 
 type algCtx struct {
+	ctx   context.Context
 	db    *database.Database
 	n     int
 	stats *Stats
@@ -101,6 +110,9 @@ func sortedUnion(a, b []logic.Var) []logic.Var {
 }
 
 func (c *algCtx) eval(f logic.Formula) (algRel, error) {
+	if err := checkCtx(c.ctx); err != nil {
+		return algRel{}, err
+	}
 	switch g := f.(type) {
 	case logic.Atom:
 		return c.evalAtom(g)

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,17 @@ func BottomUp(q logic.Query, db *database.Database) (*relation.Set, error) {
 
 // BottomUpStats is BottomUp with options and work statistics.
 func BottomUpStats(q logic.Query, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
+	return BottomUpContext(context.Background(), q, db, opts)
+}
+
+// BottomUpContext is BottomUpStats honoring a context: cancellation and
+// deadlines are checked once per fixpoint stage (LFP/GFP/IFP iterations, PFP
+// stages, and between PFP sweep assignments), never inside a stage, so any
+// answer that is produced is byte-identical to an uncancelled run. When the
+// context fires mid-evaluation the error wraps ctx.Err() and the returned
+// Stats hold the work completed so far (a partial reading; the answer is
+// nil).
+func BottomUpContext(ctx context.Context, q logic.Query, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
 	if err := q.Validate(signatureOf(db)); err != nil {
 		return nil, nil, err
 	}
@@ -31,12 +43,18 @@ func BottomUpStats(q logic.Query, db *database.Database, opts *Options) (*relati
 	if err := checkWidth(q, opts); err != nil {
 		return nil, nil, err
 	}
+	// Quantifier-free and FO bodies have no fixpoint boundaries, so check
+	// once up front: an already-expired context never starts evaluating.
+	if err := checkCtx(ctx); err != nil {
+		return nil, nil, err
+	}
 	vars := q.Vars()
 	sp, err := relation.NewSpace(len(vars), db.Size())
 	if err != nil {
 		return nil, nil, err
 	}
 	c := &buCtx{
+		ctx:    ctx,
 		db:     db,
 		sp:     sp,
 		axes:   make(map[logic.Var]int, len(vars)),
@@ -51,7 +69,7 @@ func BottomUpStats(q logic.Query, db *database.Database, opts *Options) (*relati
 	}
 	d, err := c.eval(q.Body)
 	if err != nil {
-		return nil, nil, err
+		return nil, c.stats, err
 	}
 	head := make([]int, len(q.Head))
 	for i, v := range q.Head {
@@ -100,6 +118,7 @@ func (sc *spaceCache) space(arity int) (*relation.Space, error) {
 // sweep forks one context per worker: env is per-context, everything else is
 // shared (and either immutable or internally synchronized).
 type buCtx struct {
+	ctx    context.Context
 	db     *database.Database
 	sp     *relation.Space
 	axes   map[logic.Var]int
@@ -120,6 +139,7 @@ func (c *buCtx) fork() *buCtx {
 	}
 	o.Parallelism = 1
 	return &buCtx{
+		ctx:    c.ctx,
 		db:     c.db,
 		sp:     c.sp,
 		axes:   c.axes,
@@ -340,6 +360,10 @@ func (c *buCtx) evalFix(g logic.Fix) (*relation.Dense, error) {
 	restore := c.env.bind(g.Rel, boundRel{dense: cur, params: params})
 	defer restore()
 	for {
+		if err := checkCtx(c.ctx); err != nil {
+			cur.Release()
+			return nil, err
+		}
 		c.stats.addFixIterations(1)
 		c.env.rels[g.Rel] = boundRel{dense: cur, params: params}
 		body, err := c.eval(g.Body)
@@ -495,6 +519,9 @@ func decodeAssign(a, n int, buf []int) {
 // periodic with period > 1, per §2.2).
 func (c *buCtx) pfpOne(g logic.Fix, msp *relation.Space, varAxes, paramAxes, assign []int, mode CycleMode, budget int) (*relation.Dense, error) {
 	step := func(s *relation.Dense) (*relation.Dense, error) {
+		if err := checkCtx(c.ctx); err != nil {
+			return nil, err
+		}
 		c.stats.addFixIterations(1)
 		restore := c.env.bind(g.Rel, boundRel{dense: s})
 		body, err := c.eval(g.Body)

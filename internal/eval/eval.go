@@ -24,6 +24,7 @@
 package eval
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -80,6 +81,22 @@ func parallelism(opts *Options) int {
 
 // DefaultPFPBudget bounds PFP stage counts when Options.PFPBudget is zero.
 const DefaultPFPBudget = 1 << 20
+
+// checkCtx reports the context's error, wrapped for the eval layer. The
+// evaluators call it at iteration boundaries only — one check per fixpoint
+// stage (and per head assignment for Naive) — so cancellation never lands in
+// the middle of a stage and serial answers stay deterministic: a request
+// either completes a stage or returns with what it had. Callers can test the
+// cause with errors.Is(err, context.DeadlineExceeded) or context.Canceled.
+func checkCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("eval: cancelled: %w", err)
+	}
+	return nil
+}
 
 // Stats reports work done by an evaluation. Counters are updated through
 // atomic operations — the parallel PFP sweep increments them from several

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/database"
@@ -32,10 +33,22 @@ func Monotone(q logic.Query, db *database.Database) (*relation.Set, error) {
 
 // MonotoneStats is Monotone with work statistics.
 func MonotoneStats(q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
+	return MonotoneContext(context.Background(), q, db)
+}
+
+// MonotoneContext is MonotoneStats honoring a context: cancellation is
+// checked once per fixpoint iteration, like BottomUpContext. On cancellation
+// the returned Stats hold the work completed so far.
+func MonotoneContext(ctx context.Context, q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
 	if err := q.Validate(signatureOf(db)); err != nil {
 		return nil, nil, err
 	}
 	if err := checkDomain(db); err != nil {
+		return nil, nil, err
+	}
+	// FO bodies never reach a fixpoint boundary; check once up front so an
+	// already-expired context never starts evaluating.
+	if err := checkCtx(ctx); err != nil {
 		return nil, nil, err
 	}
 	body, err := logic.NNF(q.Body)
@@ -56,13 +69,13 @@ func MonotoneStats(q logic.Query, db *database.Database) (*relation.Set, *Stats,
 	if err != nil {
 		return nil, nil, err
 	}
-	c := &monoCtx{db: db, sp: sp, axes: make(map[logic.Var]int, len(vars)), env: newEnv(), stats: &Stats{}, memo: make(map[string]*relation.Set)}
+	c := &monoCtx{ctx: ctx, db: db, sp: sp, axes: make(map[logic.Var]int, len(vars)), env: newEnv(), stats: &Stats{}, memo: make(map[string]*relation.Set)}
 	for i, v := range vars {
 		c.axes[v] = i
 	}
 	d, err := c.eval(body, "r")
 	if err != nil {
-		return nil, nil, err
+		return nil, c.stats, err
 	}
 	head := make([]int, len(q.Head))
 	for i, v := range q.Head {
@@ -72,6 +85,7 @@ func MonotoneStats(q logic.Query, db *database.Database) (*relation.Set, *Stats,
 }
 
 type monoCtx struct {
+	ctx   context.Context
 	db    *database.Database
 	sp    *relation.Space
 	axes  map[logic.Var]int
@@ -166,6 +180,9 @@ func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
 	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
 	defer restore()
 	for {
+		if err := checkCtx(c.ctx); err != nil {
+			return nil, err
+		}
 		c.stats.addFixIterations(1)
 		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
 		body, err := c.eval(g.Body, path+".b")

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/database"
@@ -23,16 +24,27 @@ const MaxNaiveSOBits = 24
 // under the MaxNaiveSOBits cap. It exists as the paper's baseline and as the
 // trusted oracle for cross-validation.
 func Naive(q logic.Query, db *database.Database) (*relation.Set, error) {
+	return NaiveContext(context.Background(), q, db)
+}
+
+// NaiveContext is Naive honoring a context. Cancellation is checked once per
+// head-tuple assignment and once per fixpoint stage — the naive evaluator's
+// natural work units — so a single deeply nested quantifier block still runs
+// to completion before the check fires.
+func NaiveContext(ctx context.Context, q logic.Query, db *database.Database) (*relation.Set, error) {
 	if err := q.Validate(signatureOf(db)); err != nil {
 		return nil, err
 	}
 	if err := checkDomain(db); err != nil {
 		return nil, err
 	}
-	c := &naiveCtx{db: db, n: db.Size(), vars: make(map[logic.Var]int), env: newEnv()}
+	c := &naiveCtx{ctx: ctx, db: db, n: db.Size(), vars: make(map[logic.Var]int), env: newEnv()}
 	out := relation.NewSet(len(q.Head))
 	var err error
 	forEachAssignment(c.n, len(q.Head), func(t []int) bool {
+		if err = checkCtx(ctx); err != nil {
+			return false
+		}
 		for i, v := range q.Head {
 			c.vars[v] = t[i]
 		}
@@ -66,6 +78,7 @@ func NaiveHolds(f logic.Formula, db *database.Database) (bool, error) {
 }
 
 type naiveCtx struct {
+	ctx  context.Context
 	db   *database.Database
 	n    int
 	vars map[logic.Var]int
@@ -186,6 +199,9 @@ func (c *naiveCtx) holdsFix(g logic.Fix) (bool, error) {
 		args[i] = val
 	}
 	step := func(s *relation.Set) (*relation.Set, error) {
+		if err := checkCtx(c.ctx); err != nil {
+			return nil, err
+		}
 		restore := c.env.bind(g.Rel, boundRel{set: s})
 		defer restore()
 		next := relation.NewSet(m)

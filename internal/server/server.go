@@ -1,0 +1,461 @@
+// Package server implements bvqd, the long-running bounded-variable query
+// service. It is the serving-shaped reading of the paper: Proposition 3.1
+// makes combined complexity polynomial, so a daemon can afford to evaluate
+// ad-hoc queries from many clients — and the constant-delay line of work
+// (Durand–Grandjean) frames exactly this split: amortize preprocessing,
+// then answer many queries cheaply. The preprocessing amortized here:
+//
+//   - parse + width computation, memoized in an LRU plan cache keyed by
+//     query text;
+//   - whole evaluations, memoized in an LRU result cache keyed by
+//     (database fingerprint, engine, options, query text) — sound because
+//     databases are immutable and engines deterministic;
+//   - concurrent identical requests, coalesced by single-flight dedup so a
+//     thundering herd costs one evaluation.
+//
+// Every request carries its own engine, parallelism and deadline; deadlines
+// are enforced by context cancellation at fixpoint-stage boundaries (see
+// eval.BottomUpContext), so a timed-out request returns within one stage of
+// its deadline with the partial work statistics it accumulated.
+//
+// Endpoints: POST /query (JSON in/out), GET /stats (JSON counters),
+// GET /healthz. The package is stdlib-only; cmd/bvqd is the thin main.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/cache"
+	"repro/internal/database"
+	"repro/internal/eval"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Databases maps serving names to loaded databases. At least one is
+	// required.
+	Databases map[string]*database.Database
+	// PlanCacheSize bounds the plan cache (entries). 0 means DefaultPlanCacheSize;
+	// negative disables plan caching.
+	PlanCacheSize int
+	// ResultCacheSize bounds the result cache (entries). 0 means
+	// DefaultResultCacheSize; negative disables result caching.
+	ResultCacheSize int
+	// DefaultTimeout applies when a request does not set timeout_ms.
+	// 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-request deadlines. 0 means no clamp.
+	MaxTimeout time.Duration
+}
+
+// Cache sizing defaults. Plans are small (an AST per distinct query text);
+// results hold a relation each, so the default is sized for k ≤ 3 answers
+// over domains of a few hundred elements — override per deployment, see
+// OPERATIONS.md.
+const (
+	DefaultPlanCacheSize   = 1024
+	DefaultResultCacheSize = 4096
+)
+
+// Server is the bvqd HTTP query service. Construct with New; serve
+// Handler(); all methods are safe for concurrent use.
+type Server struct {
+	dbs     map[string]*namedDB
+	plans   *cache.PlanCache
+	results *cache.ResultCache
+	flight  *cache.Flight[evalOutcome]
+
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	start          time.Time
+
+	queries   atomic.Int64 // requests to /query
+	errorsN   atomic.Int64 // requests answered 4xx/5xx
+	timeouts  atomic.Int64 // requests answered 504
+	coalesced atomic.Int64 // requests served by another request's evaluation
+
+	requestsInFlight atomic.Int64 // /query requests currently being handled
+	evalsInFlight    atomic.Int64 // evaluations currently running (post-dedup)
+
+	subformulaEvals atomic.Int64 // aggregate engine work, incl. partial runs
+	fixIterations   atomic.Int64
+}
+
+type namedDB struct {
+	db *database.Database
+	fp uint64
+}
+
+// evalOutcome is what one evaluation produces — shared between coalesced
+// requests, including the partial statistics of a cancelled run.
+type evalOutcome struct {
+	answer *bvq.Relation
+	stats  *eval.Stats
+	err    error
+}
+
+// New validates cfg and returns a Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Databases) == 0 {
+		return nil, fmt.Errorf("server: no databases configured")
+	}
+	planSize, resultSize := cfg.PlanCacheSize, cfg.ResultCacheSize
+	if planSize == 0 {
+		planSize = DefaultPlanCacheSize
+	}
+	if resultSize == 0 {
+		resultSize = DefaultResultCacheSize
+	}
+	s := &Server{
+		dbs:            make(map[string]*namedDB, len(cfg.Databases)),
+		plans:          cache.NewPlanCache(max(planSize, 0)),
+		results:        cache.NewResultCache(max(resultSize, 0)),
+		flight:         cache.NewFlight[evalOutcome](),
+		defaultTimeout: cfg.DefaultTimeout,
+		maxTimeout:     cfg.MaxTimeout,
+		start:          time.Now(),
+	}
+	for name, db := range cfg.Databases {
+		if name == "" || db == nil {
+			return nil, fmt.Errorf("server: invalid database entry %q", name)
+		}
+		s.dbs[name] = &namedDB{db: db, fp: db.Fingerprint()}
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// QueryRequest is the /query request body.
+type QueryRequest struct {
+	// Database names one of the served databases. Required.
+	Database string `json:"database"`
+	// Query is the query text, e.g. "(x, y). exists z. E(x, z) & E(z, y)".
+	Query string `json:"query"`
+	// Engine selects the evaluation algorithm (bottomup, naive, algebra,
+	// monotone, eso, certified). Empty means bottomup.
+	Engine string `json:"engine,omitempty"`
+	// MaxWidth rejects queries of width > MaxWidth (the Lᵏ membership
+	// check). 0 means unbounded.
+	MaxWidth int `json:"max_width,omitempty"`
+	// Parallelism bounds the PFP sweep's worker pool. 0 means GOMAXPROCS.
+	// Does not affect answers, only latency.
+	Parallelism int `json:"parallelism,omitempty"`
+	// TimeoutMS is this request's evaluation deadline in milliseconds,
+	// clamped to the server's maximum. 0 means the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the result cache and single-flight dedup: the
+	// request always evaluates fresh and does not store its result.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Indices reports answer tuples as domain indices 0..n−1 instead of
+	// raw domain values.
+	Indices bool `json:"indices,omitempty"`
+}
+
+// QueryResponse is the /query success body.
+type QueryResponse struct {
+	Database string `json:"database"`
+	Engine   string `json:"engine"`
+	// Width is the query's variable count (its Lᵏ class).
+	Width int `json:"width"`
+	// Arity is the answer arity; for arity 0 (Boolean queries) Truth is
+	// set and Answer omitted.
+	Arity  int     `json:"arity"`
+	Truth  *bool   `json:"truth,omitempty"`
+	Answer [][]int `json:"answer"`
+	Count  int     `json:"count"`
+	// PlanCached / ResultCached / Coalesced report how the request was
+	// served: parse skipped, evaluation skipped, or evaluation shared with
+	// a concurrent identical request.
+	PlanCached   bool `json:"plan_cached"`
+	ResultCached bool `json:"result_cached"`
+	Coalesced    bool `json:"coalesced"`
+	// ElapsedMS is the server-side handling time of this request.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Stats is the engine work of the evaluation that produced the answer
+	// (the original run's, when served from cache); nil for engines that
+	// do not report statistics.
+	Stats *StatsJSON `json:"stats,omitempty"`
+}
+
+// ErrorResponse is the /query error body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Stats carries the partial work statistics of a cancelled evaluation
+	// (504 only): what the engine had done when the deadline fired.
+	Stats *StatsJSON `json:"stats,omitempty"`
+}
+
+// StatsJSON mirrors eval.Stats in the wire format.
+type StatsJSON struct {
+	SubformulaEvals       int64 `json:"subformula_evals"`
+	FixIterations         int64 `json:"fix_iterations"`
+	MaxIntermediateArity  int64 `json:"max_intermediate_arity"`
+	MaxIntermediateTuples int64 `json:"max_intermediate_tuples"`
+}
+
+func statsJSON(st *eval.Stats) *StatsJSON {
+	if st == nil {
+		return nil
+	}
+	return &StatsJSON{
+		SubformulaEvals:       st.SubformulaEvals,
+		FixIterations:         st.FixIterations,
+		MaxIntermediateArity:  st.MaxIntermediateArity,
+		MaxIntermediateTuples: st.MaxIntermediateTuples,
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.queries.Add(1)
+	s.requestsInFlight.Add(1)
+	defer s.requestsInFlight.Add(-1)
+
+	var req QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), nil)
+		return
+	}
+	nd, ok := s.dbs[req.Database]
+	if !ok {
+		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown database %q", req.Database), nil)
+		return
+	}
+	engineName := req.Engine
+	if engineName == "" {
+		engineName = bvq.EngineBottomUp.String()
+	}
+	engine, err := bvq.EngineByName(engineName)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err, nil)
+		return
+	}
+	plan, planCached, err := s.plans.Load(req.Query)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err, nil)
+		return
+	}
+	if req.MaxWidth > 0 && plan.Width > req.MaxWidth {
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("query width %d exceeds bound k=%d", plan.Width, req.MaxWidth), nil)
+		return
+	}
+
+	ctx := r.Context()
+	timeout := s.defaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if s.maxTimeout > 0 && (timeout == 0 || timeout > s.maxTimeout) {
+		timeout = s.maxTimeout
+	}
+	if timeout > 0 {
+		var cancel func()
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	opts := &eval.Options{MaxWidth: req.MaxWidth, Parallelism: req.Parallelism}
+	key := cache.ResultKey(nd.fp, engineName, opts, req.Query)
+
+	resp := QueryResponse{
+		Database:   req.Database,
+		Engine:     engineName,
+		Width:      plan.Width,
+		Arity:      plan.Query.Arity(),
+		PlanCached: planCached,
+	}
+
+	var out evalOutcome
+	if !req.NoCache {
+		if hit, ok := s.results.Get(key); ok {
+			resp.ResultCached = true
+			out = evalOutcome{answer: hit.Answer, stats: hit.Stats}
+		}
+	}
+	if !resp.ResultCached {
+		run := func() (evalOutcome, error) {
+			s.evalsInFlight.Add(1)
+			defer s.evalsInFlight.Add(-1)
+			ans, st, err := bvq.EvalStatsContext(ctx, plan.Query, nd.db, engine, opts)
+			// Fold this run's work — complete or partial — into the
+			// aggregate gauges before anything is shared or cached.
+			if st != nil {
+				s.subformulaEvals.Add(st.SubformulaEvals)
+				s.fixIterations.Add(st.FixIterations)
+			}
+			if err == nil && !req.NoCache {
+				s.results.Put(key, cache.Result{Answer: ans, Stats: st})
+			}
+			return evalOutcome{answer: ans, stats: st, err: err}, err
+		}
+		if req.NoCache {
+			out, _ = run()
+		} else {
+			var shared bool
+			out, shared, err = s.flight.Do(ctx, key, run)
+			if shared {
+				resp.Coalesced = true
+				s.coalesced.Add(1)
+			}
+			// A follower abandoned by its own context gets a bare ctx error
+			// with no outcome; fold it into the same error path.
+			if out.err == nil && err != nil {
+				out.err = err
+			}
+		}
+	}
+	if out.err != nil {
+		if errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled) {
+			s.timeouts.Add(1)
+			s.fail(w, http.StatusGatewayTimeout, out.err, statsJSON(out.stats))
+			return
+		}
+		s.fail(w, http.StatusUnprocessableEntity, out.err, nil)
+		return
+	}
+
+	resp.Stats = statsJSON(out.stats)
+	resp.Count = out.answer.Len()
+	if resp.Arity == 0 {
+		truth := out.answer.Len() > 0
+		resp.Truth = &truth
+		resp.Answer = [][]int{}
+	} else {
+		tuples := out.answer.Tuples() // canonical sorted order: deterministic bodies
+		resp.Answer = make([][]int, len(tuples))
+		for i, t := range tuples {
+			row := make([]int, len(t))
+			for j, v := range t {
+				if req.Indices {
+					row[j] = v
+				} else {
+					row[j] = nd.db.Value(v)
+				}
+			}
+			resp.Answer[i] = row
+		}
+	}
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fail writes an error response and counts it.
+func (s *Server) fail(w http.ResponseWriter, code int, err error, partial *StatsJSON) {
+	s.errorsN.Add(1)
+	writeJSON(w, code, ErrorResponse{Error: err.Error(), Stats: partial})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the client is gone if this fails; nothing to do
+}
+
+// StatsResponse is the /stats body.
+type StatsResponse struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Databases     map[string]DBStats `json:"databases"`
+	Queries       int64              `json:"queries"`
+	Errors        int64              `json:"errors"`
+	Timeouts      int64              `json:"timeouts"`
+	Coalesced     int64              `json:"coalesced"`
+	InFlight      InFlightStats      `json:"in_flight"`
+	PlanCache     CacheStats         `json:"plan_cache"`
+	ResultCache   CacheStats         `json:"result_cache"`
+	Eval          AggregateEvalStats `json:"eval"`
+}
+
+// DBStats describes one served database.
+type DBStats struct {
+	DomainSize  int      `json:"domain_size"`
+	Relations   []string `json:"relations"`
+	Fingerprint string   `json:"fingerprint"`
+}
+
+// InFlightStats are the live gauges.
+type InFlightStats struct {
+	// Requests counts /query requests currently being handled; Evals
+	// counts evaluations actually running. Requests > Evals means
+	// single-flight dedup is coalescing a thundering herd.
+	Requests int64 `json:"requests"`
+	Evals    int64 `json:"evals"`
+}
+
+// CacheStats reports one cache's occupancy and cumulative counters.
+type CacheStats struct {
+	Size      int   `json:"size"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// AggregateEvalStats accumulates engine work across all evaluations,
+// including the partial work of cancelled runs.
+type AggregateEvalStats struct {
+	SubformulaEvals int64 `json:"subformula_evals"`
+	FixIterations   int64 `json:"fix_iterations"`
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() StatsResponse {
+	ph, pm, pe := s.plans.Counters()
+	rh, rm, re := s.results.Counters()
+	dbs := make(map[string]DBStats, len(s.dbs))
+	for name, nd := range s.dbs {
+		rels := nd.db.Names()
+		sort.Strings(rels)
+		dbs[name] = DBStats{
+			DomainSize:  nd.db.Size(),
+			Relations:   rels,
+			Fingerprint: fmt.Sprintf("%016x", nd.fp),
+		}
+	}
+	return StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Databases:     dbs,
+		Queries:       s.queries.Load(),
+		Errors:        s.errorsN.Load(),
+		Timeouts:      s.timeouts.Load(),
+		Coalesced:     s.coalesced.Load(),
+		InFlight: InFlightStats{
+			Requests: s.requestsInFlight.Load(),
+			Evals:    s.evalsInFlight.Load(),
+		},
+		PlanCache:   CacheStats{Size: s.plans.Len(), Hits: ph, Misses: pm, Evictions: pe},
+		ResultCache: CacheStats{Size: s.results.Len(), Hits: rh, Misses: rm, Evictions: re},
+		Eval: AggregateEvalStats{
+			SubformulaEvals: s.subformulaEvals.Load(),
+			FixIterations:   s.fixIterations.Load(),
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
