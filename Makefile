@@ -1,17 +1,22 @@
 GO ?= go
 
-.PHONY: all build test vet docs race bench sweep examples cover clean check serve
+.PHONY: all build test vet docs race bench bench-json bench-smoke sweep examples cover clean check serve
 
 all: vet test build
 
 # check is the pre-merge gate: static analysis, the documentation checks,
-# the full suite under the race detector (the parallel PFP sweep and the
-# bvqd single-flight path make -race meaningful), and the server tests on
-# their own so a serving regression is visible by name.
+# the full suite under the race detector (the parallel PFP sweep, the
+# compiled engine's wave scheduler and the bvqd single-flight path make
+# -race meaningful), the differential harness and the compiled scheduler
+# called out by name so a regression there is visible by name, and a
+# single-iteration benchmark smoke pass so the benchmarks themselves
+# cannot rot.
 check: docs
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/
+	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled' ./internal/eval/
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/eval/ ./internal/relation/ ./internal/bitset/
 
 build:
 	$(GO) build ./...
@@ -42,6 +47,17 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# bench-json emits machine-readable engine-comparison records (JSON Lines):
+# one object per (workload, engine, size) cell with ns/op and the engine's
+# work counters. EXPERIMENTS.md quotes a run of this target.
+bench-json:
+	$(GO) run ./cmd/bvqbench -json
+
+# bench-smoke runs every benchmark exactly once — a compile-and-run
+# existence check, not a measurement.
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # Regenerate the EXPERIMENTS.md sweeps (about a minute).
 sweep:

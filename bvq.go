@@ -16,7 +16,8 @@
 //     algorithm for FO/FP/PFP), EngineNaive (the generic exponential-time
 //     baseline), EngineAlgebra (free-variable relational algebra, FO only),
 //     EngineMonotone (the alternation-free l·nᵏ fast path), EngineESO
-//     (Lemma 3.6 arity reduction + grounding + SAT);
+//     (Lemma 3.6 arity reduction + grounding + SAT), EngineCompiled
+//     (hash-consed query plans with hoisting and semi-naive fixpoints);
 //   - Theorem 3.5 certificates: FindCertificate / VerifyCertificate /
 //     NegateQuery realize the NP ∩ co-NP bound for FPᵏ.
 //
@@ -109,6 +110,12 @@ const (
 	// prover/verifier pair: FindCertificate computes the answer and emits a
 	// witness, VerifyCertificate replays it, and the two must agree.
 	EngineCertified
+	// EngineCompiled lowers the query to a hash-consed DAG plan
+	// (internal/plan) and evaluates it incrementally: recursion-free
+	// subtrees are computed once, LFP/IFP stages run semi-naive on stage
+	// deltas, and independent dirty nodes evaluate in parallel. Supports
+	// FO, FP, IFP and PFP with answers byte-identical to EngineBottomUp.
+	EngineCompiled
 )
 
 func (e Engine) String() string {
@@ -125,18 +132,20 @@ func (e Engine) String() string {
 		return "eso"
 	case EngineCertified:
 		return "certified"
+	case EngineCompiled:
+		return "compiled"
 	}
 	return "unknown"
 }
 
 // EngineByName resolves an engine name as used by the CLI.
 func EngineByName(name string) (Engine, error) {
-	for _, e := range []Engine{EngineBottomUp, EngineNaive, EngineAlgebra, EngineMonotone, EngineESO, EngineCertified} {
+	for _, e := range []Engine{EngineBottomUp, EngineNaive, EngineAlgebra, EngineMonotone, EngineESO, EngineCertified, EngineCompiled} {
 		if e.String() == name {
 			return e, nil
 		}
 	}
-	return 0, fmt.Errorf("bvq: unknown engine %q (want bottomup, naive, algebra, monotone, eso or certified)", name)
+	return 0, fmt.Errorf("bvq: unknown engine %q (want bottomup, naive, algebra, monotone, eso, certified or compiled)", name)
 }
 
 // Eval evaluates q against db with the selected engine. The answer is a
@@ -182,6 +191,8 @@ func EvalStatsContext(ctx context.Context, q Query, db *Database, engine Engine,
 		return eval.AlgebraContext(ctx, q, db)
 	case EngineMonotone:
 		return eval.MonotoneContext(ctx, q, db)
+	case EngineCompiled:
+		return eval.CompiledContext(ctx, q, db, opts)
 	case EngineESO:
 		// The grounding+SAT pipeline has no internal cancellation points;
 		// honor an already-expired context before starting.

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	bvq -db employees.db -query '(x, y). exists z. E(x, z) & E(z, y)' \
-//	    [-engine bottomup|naive|algebra|monotone|eso] [-k 3] [-stats]
+//	    [-engine bottomup|naive|algebra|monotone|eso|certified|compiled] [-k 3] [-stats]
 //
 // The database file uses the textual format of bvq.ParseDatabase:
 //
@@ -32,7 +32,7 @@ func main() {
 		dbPath  = flag.String("db", "", "database file (textual format); required")
 		query   = flag.String("query", "", "query text '(x, y). formula'; required unless -query-file")
 		qFile   = flag.String("query-file", "", "file containing the query")
-		engine  = flag.String("engine", "bottomup", "engine: bottomup, naive, algebra, monotone, eso, certified")
+		engine  = flag.String("engine", "bottomup", "engine: bottomup, naive, algebra, monotone, eso, certified, compiled")
 		k       = flag.Int("k", 0, "reject queries of width > k (0: no bound)")
 		stats   = flag.Bool("stats", false, "print evaluation statistics to stderr")
 		showIdx = flag.Bool("indices", false, "print domain indices instead of raw values")

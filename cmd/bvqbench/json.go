@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/logic"
+	"repro/internal/mucalc"
+	"repro/internal/relation"
+	"repro/internal/workload"
+)
+
+// Record is one machine-readable benchmark measurement: a (workload, engine,
+// size) cell with its timing and the engine's work counters. Output is one
+// JSON object per line (JSON Lines), so downstream tooling can stream-filter
+// with jq without loading the whole run.
+type Record struct {
+	Bench   string     `json:"bench"`  // workload id: tc-lfp, reach-lfp, mu-fp2, pfp-grow
+	Engine  string     `json:"engine"` // bottomup, compiled, monotone
+	Query   string     `json:"query"`  // concrete query text
+	DB      string     `json:"db"`     // database family
+	N       int        `json:"n"`      // domain size
+	Reps    int        `json:"reps"`   // timed repetitions averaged over
+	NsPerOp float64    `json:"ns_per_op"`
+	Answer  int        `json:"answer_tuples"`
+	Stats   *statsJSON `json:"stats,omitempty"`
+}
+
+// statsJSON mirrors eval.Stats with snake_case keys. nodes_reused and
+// delta_tuples are reported by the compiled engine only (hoisted plan nodes
+// served without recomputation; tuples pushed through semi-naive deltas) and
+// stay zero elsewhere.
+type statsJSON struct {
+	SubformulaEvals       int64 `json:"subformula_evals"`
+	FixIterations         int64 `json:"fix_iterations"`
+	MaxIntermediateArity  int64 `json:"max_intermediate_arity"`
+	MaxIntermediateTuples int64 `json:"max_intermediate_tuples"`
+	NodesReused           int64 `json:"nodes_reused"`
+	DeltaTuples           int64 `json:"delta_tuples"`
+}
+
+// runJSON executes the engine-comparison workloads and prints one Record per
+// line. It replaces the human-readable sweeps entirely: -json is for CI and
+// EXPERIMENTS.md regeneration, where parsing prose tables is the enemy.
+func runJSON(quick bool) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range jsonRecords(quick) {
+		if err := enc.Encode(r); err != nil {
+			die(err)
+		}
+	}
+}
+
+func jsonRecords(quick bool) []Record {
+	var recs []Record
+	recs = append(recs, benchTCLFP(quick)...)
+	recs = append(recs, benchReachLFP(quick)...)
+	recs = append(recs, benchMuFP2(quick)...)
+	recs = append(recs, benchPFPGrow(quick)...)
+	return recs
+}
+
+// measure times fn until it has run at least three times and consumed
+// ~200ms, then returns the mean ns/op with the rep count.
+func measure(fn func()) (float64, int) {
+	const minReps = 3
+	const budget = 200 * time.Millisecond
+	var reps int
+	start := time.Now()
+	for reps < minReps || time.Since(start) < budget {
+		fn()
+		reps++
+		if reps >= 1000 {
+			break
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(reps), reps
+}
+
+// engineRecords runs q on db under each engine, checks that all answers
+// agree, and returns one Record per engine.
+func engineRecords(bench, dbName string, n int, q logic.Query, db *database.Database, engines []string) []Record {
+	var recs []Record
+	baseline := -1
+	for _, name := range engines {
+		var tuples int
+		var st *eval.Stats
+		nsPerOp, reps := measure(func() {
+			a, s, err := evalByName(name, q, db)
+			die(err)
+			tuples = a.Len()
+			st = s
+		})
+		if baseline < 0 {
+			baseline = tuples
+		} else if tuples != baseline {
+			die(fmt.Errorf("%s n=%d: engine %s disagrees (%d tuples, want %d)", bench, n, name, tuples, baseline))
+		}
+		rec := Record{Bench: bench, Engine: name, Query: q.String(), DB: dbName, N: n,
+			Reps: reps, NsPerOp: nsPerOp, Answer: tuples}
+		if st != nil {
+			rec.Stats = &statsJSON{
+				SubformulaEvals:       st.SubformulaEvals,
+				FixIterations:         st.FixIterations,
+				MaxIntermediateArity:  st.MaxIntermediateArity,
+				MaxIntermediateTuples: st.MaxIntermediateTuples,
+				NodesReused:           st.NodesReused,
+				DeltaTuples:           st.DeltaTuples,
+			}
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func evalByName(name string, q logic.Query, db *database.Database) (*relation.Set, *eval.Stats, error) {
+	switch name {
+	case "bottomup":
+		return eval.BottomUpStats(q, db, nil)
+	case "compiled":
+		return eval.CompiledStats(q, db, nil)
+	case "monotone":
+		return eval.MonotoneStats(q, db)
+	}
+	return nil, nil, fmt.Errorf("bvqbench: unknown engine %q", name)
+}
+
+// tcQuery is binary transitive closure T(x,y) ≡ E(x,y) ∨ ∃z(E(x,z) ∧
+// T(z,y)) — the canonical semi-naive showcase: the delta frontier is one
+// diagonal band per stage on a line graph, while full re-evaluation redoes
+// the n³-point join every stage.
+func tcQuery() logic.Query {
+	return logic.MustQuery([]logic.Var{"x", "y"},
+		logic.Lfp("T", []logic.Var{"x", "y"},
+			logic.Or(logic.R("E", "x", "y"),
+				logic.Exists(logic.And(logic.R("E", "x", "z"), logic.R("T", "z", "y")), "z")),
+			"x", "y"))
+}
+
+// reachQuery is single-source reachability as a width-3 LFP with a unary
+// recursion relation — deltas still apply, but hoisting and delta savings
+// are smaller relative to the per-stage dense projection.
+func reachQuery() logic.Query {
+	return logic.MustQuery([]logic.Var{"u"},
+		logic.Lfp("S", []logic.Var{"x"},
+			logic.Or(logic.R("P", "x"),
+				logic.Exists(logic.And(logic.R("E", "z", "x"),
+					logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z")), "u"))
+}
+
+func benchTCLFP(quick bool) []Record {
+	sizes := []int{32, 64, 96}
+	if quick {
+		sizes = []int{16, 32}
+	}
+	q := tcQuery()
+	var recs []Record
+	for _, n := range sizes {
+		db := workload.LineGraph(n)
+		// Monotone materializes sparse n²-tuple sets per stage and falls
+		// behind by an order of magnitude here; bottomup is the meaningful
+		// dense baseline.
+		recs = append(recs, engineRecords("tc-lfp", "line", n, q, db,
+			[]string{"bottomup", "compiled"})...)
+	}
+	return recs
+}
+
+func benchReachLFP(quick bool) []Record {
+	sizes := []int{32, 64, 128}
+	if quick {
+		sizes = []int{16, 32}
+	}
+	q := reachQuery()
+	var recs []Record
+	for _, n := range sizes {
+		db := workload.LineGraph(n)
+		recs = append(recs, engineRecords("reach-lfp", "line", n, q, db,
+			[]string{"bottomup", "compiled", "monotone"})...)
+	}
+	return recs
+}
+
+func benchMuFP2(quick bool) []Record {
+	sizes := []int{16, 32, 64}
+	if quick {
+		sizes = []int{8, 16}
+	}
+	f := mucalc.InfinitelyOften(mucalc.Prop{Name: "p"})
+	body, err := mucalc.ToFP2(f)
+	die(err)
+	q := logic.MustQuery([]logic.Var{"x"}, body)
+	var recs []Record
+	for _, n := range sizes {
+		k := workload.RandomKripke(int64(n), n, 3)
+		db, err := k.ToDatabase("p")
+		die(err)
+		// InfinitelyOften alternates ν/µ (depth 2): Monotone refuses it, so
+		// the comparison is bottomup vs compiled dirty-node re-evaluation.
+		recs = append(recs, engineRecords("mu-fp2", "kripke", n, q, db,
+			[]string{"bottomup", "compiled"})...)
+	}
+	return recs
+}
+
+func benchPFPGrow(quick bool) []Record {
+	sizes := []int{32, 64, 128}
+	if quick {
+		sizes = []int{16, 32}
+	}
+	q := logic.MustQuery([]logic.Var{"u"},
+		logic.Pfp("S", []logic.Var{"x"},
+			logic.Or(logic.R("S", "x"), logic.Or(logic.R("P", "x"),
+				logic.Exists(logic.And(logic.R("E", "z", "x"),
+					logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z"))), "u"))
+	var recs []Record
+	for _, n := range sizes {
+		db := workload.LineGraph(n)
+		recs = append(recs, engineRecords("pfp-grow", "line", n, q, db,
+			[]string{"bottomup", "compiled"})...)
+	}
+	return recs
+}

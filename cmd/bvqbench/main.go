@@ -4,7 +4,11 @@
 // series, and checks that all engines agree on the answers. EXPERIMENTS.md
 // records a run of this tool next to the paper's claims.
 //
-// Usage: bvqbench [-quick]
+// Usage: bvqbench [-quick] [-json]
+//
+// With -json the tool skips the prose tables and instead emits one JSON
+// record per (workload, engine, size) cell — see Record in json.go — for
+// the engine-comparison workloads (tc-lfp, reach-lfp, mu-fp2, pfp-grow).
 package main
 
 import (
@@ -28,7 +32,10 @@ import (
 	"repro/internal/workload"
 )
 
-var quick = flag.Bool("quick", false, "smaller sweeps")
+var (
+	quick    = flag.Bool("quick", false, "smaller sweeps")
+	jsonMode = flag.Bool("json", false, "emit machine-readable engine-comparison records (JSON Lines)")
+)
 
 // writeErr records the first failed write to stdout. Sweep tables are the
 // tool's entire product, so a broken pipe or full disk must turn into exit
@@ -49,6 +56,10 @@ func outln(a ...any) {
 
 func main() {
 	flag.Parse()
+	if *jsonMode {
+		runJSON(*quick)
+		return
+	}
 	outln("bvqbench — reproduction sweeps for Vardi, PODS 1995 (Tables 1–3)")
 	outln()
 	t1data()

@@ -1,0 +1,70 @@
+package bitset
+
+import "math/bits"
+
+// This file holds the sparse-driver kernels behind semi-naive (delta-driven)
+// fixpoint evaluation: each pass over a delta operand visits only its nonzero
+// words, so the per-stage cost of a union, join or difference is proportional
+// to the words the delta actually touches — the changed-word mask — instead
+// of the full nᵏ-bit relation.
+
+// OrSparse sets s to s ∪ t, visiting only the nonzero words of t. It returns
+// the number of destination words that changed.
+func (s *Set) OrSparse(t *Set) int {
+	s.mustMatch(t)
+	changed := 0
+	for i, w := range t.words {
+		if w == 0 {
+			continue
+		}
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed++
+		}
+	}
+	return changed
+}
+
+// OrAndSparse sets s to s ∪ (drv ∩ t), visiting only the nonzero words of
+// drv — the semi-naive join rule Δ(l ∧ r) ⊇ Δl ∩ r with drv as the delta
+// side. It returns the number of destination words that changed.
+func (s *Set) OrAndSparse(drv, t *Set) int {
+	s.mustMatch(drv)
+	s.mustMatch(t)
+	changed := 0
+	for i, w := range drv.words {
+		if w == 0 {
+			continue
+		}
+		w &= t.words[i]
+		if w == 0 {
+			continue
+		}
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed++
+		}
+	}
+	return changed
+}
+
+// AndNotSparse sets s to s \ t, visiting only the nonzero words of s — the
+// delta-tightening rule Δ ← Δ \ old. It returns the number of bits remaining
+// in s, so callers learn emptiness (convergence) from the same pass.
+func (s *Set) AndNotSparse(t *Set) int {
+	s.mustMatch(t)
+	remaining := 0
+	for i, w := range s.words {
+		if w == 0 {
+			continue
+		}
+		w &^= t.words[i]
+		s.words[i] = w
+		remaining += bits.OnesCount64(w)
+	}
+	return remaining
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/relation"
 )
 
@@ -15,6 +16,12 @@ import (
 type Plan struct {
 	Query logic.Query
 	Width int
+	// Prepared is the compiled DAG plan for the query, built once per cache
+	// entry and reused by every request running the compiled engine (the
+	// plan is immutable; all evaluation state is per-run). It is nil when the
+	// query lies outside the compilable fragment — the compiled engine then
+	// recompiles per request and surfaces the real error.
+	Prepared *plan.Plan
 }
 
 // PlanCache memoizes parse + width computation, keyed by the exact query
@@ -39,6 +46,9 @@ func (c *PlanCache) Load(text string) (Plan, bool, error) {
 		return Plan{}, false, err
 	}
 	p := Plan{Query: q, Width: q.Width()}
+	if compiled, err := plan.Compile(q); err == nil {
+		p.Prepared = compiled
+	}
 	c.lru.Put(text, p)
 	return p, false, nil
 }

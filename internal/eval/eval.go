@@ -115,6 +115,19 @@ type Stats struct {
 	// MaxIntermediateTuples is the largest tuple count of any intermediate
 	// relation.
 	MaxIntermediateTuples int64
+	// NodesReused counts plan-node values served from the Compiled engine's
+	// DAG cache instead of being recomputed: per fixpoint stage, the size of
+	// the hoisted frontier the stage read without re-evaluating (work the
+	// tree-walking evaluators would redo every iteration). Zero for other
+	// engines. The counter is schedule-independent: it depends only on the
+	// plan and the iteration counts, never on Options.Parallelism.
+	NodesReused int64
+	// DeltaTuples counts tuples pushed through recursion-relation deltas by
+	// the Compiled engine's semi-naive stages — the per-stage |ΔS| sum. A
+	// value well below FixIterations × |S| is the semi-naive win made
+	// visible. Zero for other engines and for fixpoints evaluated without
+	// delta propagation (GFP, PFP, non-monotone dirty sets).
+	DeltaTuples int64
 }
 
 func (s *Stats) addSubformulaEvals(d int64) {
@@ -126,6 +139,18 @@ func (s *Stats) addSubformulaEvals(d int64) {
 func (s *Stats) addFixIterations(d int64) {
 	if s != nil {
 		atomic.AddInt64(&s.FixIterations, d)
+	}
+}
+
+func (s *Stats) addNodesReused(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.NodesReused, d)
+	}
+}
+
+func (s *Stats) addDeltaTuples(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.DeltaTuples, d)
 	}
 }
 

@@ -3,6 +3,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/database"
 	"repro/internal/logic"
@@ -91,7 +92,19 @@ type monoCtx struct {
 	axes  map[logic.Var]int
 	env   *env
 	stats *Stats
-	memo  map[string]*relation.Set
+	// memo warm-starts fixpoints across re-evaluations. Keys MUST identify
+	// the fixpoint's *occurrence*, not its text: two sibling fixpoints can
+	// have byte-identical bodies yet evaluate under different environments
+	// (e.g. the same recursion-relation name bound by different enclosing
+	// operators), and replaying one's stages as the other's would silently
+	// corrupt the answer. Keys are therefore structural paths from the root
+	// ("r" extended with ".l"/".r"/".n"/".q"/".b" per step), which are unique
+	// per occurrence by construction; the bound relation's name and extended
+	// arity are appended as a tripwire so that any future change that drops
+	// position from the key still cannot collide occurrences that bind
+	// different relations. TestMonotoneMemoNoCrossOccurrenceReplay is the
+	// regression test for this invariant.
+	memo map[string]*relation.Set
 }
 
 func (c *monoCtx) axesOf(vs []logic.Var) []int {
@@ -169,7 +182,8 @@ func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
 	params := fixParams(g)
 	ext := len(g.Vars) + len(params)
 	extCols := append(c.axesOf(g.Vars), c.axesOf(params)...)
-	cur := c.memo[path]
+	key := path + "|" + g.Rel + "/" + strconv.Itoa(ext)
+	cur := c.memo[key]
 	if cur == nil {
 		if g.Op == logic.GFP {
 			cur = (&buCtx{db: c.db, sp: c.sp}).fullSet(ext)
@@ -204,6 +218,6 @@ func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
 		}
 		cur = next
 	}
-	c.memo[path] = cur
+	c.memo[key] = cur
 	return c.sp.FromAtom(cur, append(c.axesOf(g.Args), c.axesOf(params)...))
 }

@@ -1,0 +1,235 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// tcQuery is the transitive-closure staple: T(x,y) ≡ E(x,y) ∨ ∃z(E(x,z) ∧ T(z,y)).
+func tcQuery(t *testing.T) logic.Query {
+	t.Helper()
+	body := logic.Lfp("T", []logic.Var{"x", "y"},
+		logic.Or(logic.R("E", "x", "y"),
+			logic.Exists(logic.And(logic.R("E", "x", "z"), logic.R("T", "z", "y")), "z")),
+		"x", "y")
+	return logic.MustQuery([]logic.Var{"x", "y"}, body)
+}
+
+func TestCompileCSEFoldsDuplicates(t *testing.T) {
+	// E(x,y) appears twice, and the two conjunctions are the same up to
+	// commutation — everything folds onto single nodes.
+	f := logic.Or(
+		logic.And(logic.R("E", "x", "y"), logic.R("P", "x")),
+		logic.And(logic.R("P", "x"), logic.R("E", "x", "y")))
+	p, err := Compile(logic.MustQuery([]logic.Var{"x", "y"}, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CSEHits < 3 { // second E atom, second P atom, commuted And
+		t.Fatalf("CSEHits = %d, want >= 3", p.CSEHits)
+	}
+	// Atoms E, P, one And, one Or (the Or of two identical kids still has
+	// two slots, but only one And node exists).
+	ands := 0
+	for _, n := range p.Nodes {
+		if n.Op == OpAnd {
+			ands++
+		}
+	}
+	if ands != 1 {
+		t.Fatalf("got %d And nodes, want 1 after commutative CSE", ands)
+	}
+}
+
+func TestCompileEqCanonicalization(t *testing.T) {
+	f := logic.And(logic.Equal("x", "y"), logic.Equal("y", "x"))
+	p, err := Compile(logic.MustQuery([]logic.Var{"x", "y"}, f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqs := 0
+	for _, n := range p.Nodes {
+		if n.Op == OpEq {
+			eqs++
+		}
+	}
+	if eqs != 1 {
+		t.Fatalf("got %d Eq nodes, want 1 (x=y and y=x are the same diagonal)", eqs)
+	}
+}
+
+func TestCompileTCAnalysis(t *testing.T) {
+	p, err := Compile(tcQuery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBinders != 1 {
+		t.Fatalf("NumBinders = %d, want 1", p.NumBinders)
+	}
+	// The database atoms are hoisted; the recursion atom and its ancestors
+	// are dirty.
+	for n, nd := range p.Nodes {
+		switch {
+		case nd.Op == OpAtom && nd.Binder < 0:
+			if p.Deps[n] != 0 {
+				t.Errorf("db atom %s has deps %b, want recursion-free", nd.Rel, p.Deps[n])
+			}
+		case nd.Op == OpAtom && nd.Binder == 0:
+			if p.Deps[n] != 1 {
+				t.Errorf("recursion atom has deps %b, want 1", p.Deps[n])
+			}
+		}
+	}
+	if len(p.Dirty[0]) == 0 || len(p.PreEval[0]) == 0 {
+		t.Fatalf("Dirty=%v PreEval=%v, want both nonempty", p.Dirty[0], p.PreEval[0])
+	}
+	// Hoisted frontier must be recursion-free and disjoint from Dirty.
+	dirty := map[int]bool{}
+	for _, n := range p.Dirty[0] {
+		dirty[n] = true
+	}
+	for _, n := range p.PreEval[0] {
+		if dirty[n] {
+			t.Fatalf("PreEval node %d is dirty", n)
+		}
+	}
+	if !p.DeltaOK[0] {
+		t.Fatal("transitive closure must admit semi-naive evaluation")
+	}
+	// With no nested fixpoints, Sched covers Dirty exactly.
+	if len(p.Sched[0]) != len(p.Dirty[0]) {
+		t.Fatalf("Sched=%v Dirty=%v, want equal", p.Sched[0], p.Dirty[0])
+	}
+	checkLevels(t, p, 0)
+}
+
+// checkLevels asserts SchedLevels is a partition of Sched where every
+// predecessor sits in a strictly earlier level.
+func checkLevels(t *testing.T, p *Plan, b int) {
+	t.Helper()
+	levelOf := map[int]int{}
+	total := 0
+	for lv, nodes := range p.SchedLevels[b] {
+		for _, n := range nodes {
+			if _, dup := levelOf[n]; dup {
+				t.Fatalf("node %d in two levels", n)
+			}
+			levelOf[n] = lv
+			total++
+		}
+	}
+	if total != len(p.Sched[b]) {
+		t.Fatalf("levels cover %d nodes, Sched has %d", total, len(p.Sched[b]))
+	}
+	for i, n := range p.Sched[b] {
+		for _, m := range p.SchedPreds[b][i] {
+			if levelOf[m] >= levelOf[n] {
+				t.Fatalf("pred %d (level %d) not before node %d (level %d)",
+					m, levelOf[m], n, levelOf[n])
+			}
+		}
+	}
+}
+
+func TestCompileGFPNoDelta(t *testing.T) {
+	body := logic.Gfp("S", []logic.Var{"x"},
+		logic.And(logic.R("P", "x"),
+			logic.Exists(logic.And(logic.R("E", "x", "y"), logic.R("S", "y")), "y")),
+		"x")
+	p, err := Compile(logic.MustQuery([]logic.Var{"x"}, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DeltaOK[0] {
+		t.Fatal("GFP stages shrink; semi-naive union deltas must be disabled")
+	}
+}
+
+func TestCompileNestedFixCoverage(t *testing.T) {
+	// Inner fixpoint depends on the outer binder (reads S), so it is dirty
+	// for the outer loop; its own dirty subtree must be covered — recomputed
+	// by the inner loop, not scheduled by the outer one — and the outer
+	// binder loses delta admissibility.
+	inner := logic.Lfp("U", []logic.Var{"y"},
+		logic.Or(logic.R("S", "y"),
+			logic.Exists(logic.And(logic.R("E", "y", "z"), logic.R("U", "z")), "z")),
+		"x")
+	body := logic.Lfp("S", []logic.Var{"x"},
+		logic.Or(logic.R("P", "x"), inner), "x")
+	p, err := Compile(logic.MustQuery([]logic.Var{"x"}, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumBinders != 2 {
+		t.Fatalf("NumBinders = %d, want 2", p.NumBinders)
+	}
+	// Binders are allocated at fix entry: 0 is the outer S, 1 the inner U.
+	innerFix := p.FixOf[1]
+	if p.Deps[innerFix]&(1<<0) == 0 {
+		t.Fatal("inner fix must be dirty for the outer binder")
+	}
+	if p.DeltaOK[0] {
+		t.Fatal("outer binder with a nested dirty fixpoint cannot run semi-naive")
+	}
+	sched := map[int]bool{}
+	for _, n := range p.Sched[0] {
+		sched[n] = true
+	}
+	if !sched[innerFix] {
+		t.Fatal("outer Sched must contain the inner fix node itself")
+	}
+	for _, n := range p.Dirty[1] {
+		if sched[n] {
+			t.Fatalf("inner dirty node %d leaked into outer Sched", n)
+		}
+	}
+	checkLevels(t, p, 0)
+	checkLevels(t, p, 1)
+}
+
+func TestCompileSiblingBindersNotShared(t *testing.T) {
+	// Two sibling fixpoints with byte-identical bodies binding the same name:
+	// CSE must keep their recursion atoms distinct (different binder ids),
+	// the compiled counterpart of the monotone engine's memo-keying hazard.
+	mk := func() logic.Formula {
+		return logic.Lfp("S", []logic.Var{"x"},
+			logic.Or(logic.R("P", "x"),
+				logic.Exists(logic.And(logic.R("E", "x", "y"), logic.R("S", "y")), "y")),
+			"x")
+	}
+	p, err := Compile(logic.MustQuery([]logic.Var{"x"}, logic.And(mk(), mk())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	binders := map[int]bool{}
+	for _, n := range p.Nodes {
+		if n.Op == OpAtom && n.Rel == "S" && n.Binder >= 0 {
+			binders[n.Binder] = true
+		}
+	}
+	if len(binders) != 2 {
+		t.Fatalf("sibling fixpoints share recursion-atom nodes: binders %v", binders)
+	}
+}
+
+func TestCompileRejectsSOQuant(t *testing.T) {
+	f := logic.SOExists(logic.R("A", "x"), logic.RelVar{Name: "A", Arity: 1})
+	_, err := Compile(logic.MustQuery([]logic.Var{"x"}, f))
+	if err == nil || !strings.Contains(err.Error(), "second-order") {
+		t.Fatalf("err = %v, want second-order rejection", err)
+	}
+}
+
+func TestCompileMaxBinders(t *testing.T) {
+	f := logic.Formula(logic.R("P", "x"))
+	for i := 0; i <= MaxBinders; i++ {
+		f = logic.Or(f, logic.Lfp("S", []logic.Var{"x"},
+			logic.Or(logic.R("S", "x"), logic.R("P", "x")), "x"))
+	}
+	_, err := Compile(logic.MustQuery([]logic.Var{"x"}, f))
+	if err == nil || !strings.Contains(err.Error(), "binders") {
+		t.Fatalf("err = %v, want MaxBinders rejection", err)
+	}
+}

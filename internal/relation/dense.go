@@ -593,6 +593,27 @@ func (d *Dense) ProjectAt(esp *Space, cols []int, pinned []int, pinnedVals []int
 		return out
 	}
 
+	// Sparse path: when the source holds few tuples (a semi-naive stage
+	// delta, typically), one pass over its set bits beats materializing an
+	// ExistsAxis intermediate per dropped axis. The threshold mirrors
+	// ExistsAxisSparse: the bit-walk costs ~cnt coordinate extractions per
+	// axis against one full-bitmap pass per fold.
+	if cnt := d.bits.Count(); cnt*sp.n*8 < sp.size {
+		d.bits.ForEach(func(idx int) {
+			for j, p := range pinned {
+				if sp.Coord(idx, p) != pinnedVals[j] {
+					return
+				}
+			}
+			outIdx := 0
+			for j, c := range cols {
+				outIdx += sp.Coord(idx, c) * esp.stride[j]
+			}
+			out.bits.Set(outIdx)
+		})
+		return out
+	}
+
 	// Quantify away the dropped axes, then gather the kept coordinates.
 	tmp, owned := d, false
 	for a := 0; a < sp.k; a++ {
@@ -675,9 +696,33 @@ func (d *Dense) ProjectAt(esp *Space, cols []int, pinned []int, pinnedVals []int
 
 // Project returns the sparse set { (t_{cols[0]}, …, t_{cols[m−1]}) | t ∈ d },
 // deduplicated. It extracts a query answer from a full-width relation.
+//
+// When the axes are distinct it dedups densely first — fold the dropped
+// axes word-parallel (ProjectAt), then decode only the nᵐ-point result —
+// instead of decoding every one of up to nᵏ set bits into a hash set. For
+// a low-arity head over a well-populated relation (the typical fixpoint
+// answer) this turns answer extraction from the dominant cost of a run
+// into noise.
 func (d *Dense) Project(cols []int) *Set {
 	for _, c := range cols {
 		d.sp.checkAxis(c)
+	}
+	if distinct := func() bool {
+		seen := make([]bool, d.sp.k)
+		for _, c := range cols {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}(); distinct {
+		if esp, err := NewSpace(len(cols), d.sp.n); err == nil {
+			p := d.ProjectAt(esp, cols, nil, nil)
+			out := p.ToSet()
+			p.Release()
+			return out
+		}
 	}
 	out := NewSet(len(cols))
 	t := make(Tuple, d.sp.k)

@@ -5,7 +5,8 @@
 // (Durand–Grandjean) frames exactly this split: amortize preprocessing,
 // then answer many queries cheaply. The preprocessing amortized here:
 //
-//   - parse + width computation, memoized in an LRU plan cache keyed by
+//   - parse + width computation — and, for the compiled engine, the full
+//     DAG plan (internal/plan) — memoized in an LRU plan cache keyed by
 //     query text;
 //   - whole evaluations, memoized in an LRU result cache keyed by
 //     (database fingerprint, engine, options, query text) — sound because
@@ -148,7 +149,7 @@ type QueryRequest struct {
 	// Query is the query text, e.g. "(x, y). exists z. E(x, z) & E(z, y)".
 	Query string `json:"query"`
 	// Engine selects the evaluation algorithm (bottomup, naive, algebra,
-	// monotone, eso, certified). Empty means bottomup.
+	// monotone, eso, certified, compiled). Empty means bottomup.
 	Engine string `json:"engine,omitempty"`
 	// MaxWidth rejects queries of width > MaxWidth (the Lᵏ membership
 	// check). 0 means unbounded.
@@ -207,6 +208,11 @@ type StatsJSON struct {
 	FixIterations         int64 `json:"fix_iterations"`
 	MaxIntermediateArity  int64 `json:"max_intermediate_arity"`
 	MaxIntermediateTuples int64 `json:"max_intermediate_tuples"`
+	// NodesReused and DeltaTuples are reported by the compiled engine only:
+	// plan-cache reads served without recomputation, and tuples pushed
+	// through semi-naive stage deltas.
+	NodesReused int64 `json:"nodes_reused,omitempty"`
+	DeltaTuples int64 `json:"delta_tuples,omitempty"`
 }
 
 func statsJSON(st *eval.Stats) *StatsJSON {
@@ -218,6 +224,8 @@ func statsJSON(st *eval.Stats) *StatsJSON {
 		FixIterations:         st.FixIterations,
 		MaxIntermediateArity:  st.MaxIntermediateArity,
 		MaxIntermediateTuples: st.MaxIntermediateTuples,
+		NodesReused:           st.NodesReused,
+		DeltaTuples:           st.DeltaTuples,
 	}
 }
 
@@ -248,14 +256,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err, nil)
 		return
 	}
-	plan, planCached, err := s.plans.Load(req.Query)
+	pl, planCached, err := s.plans.Load(req.Query)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err, nil)
 		return
 	}
-	if req.MaxWidth > 0 && plan.Width > req.MaxWidth {
+	if req.MaxWidth > 0 && pl.Width > req.MaxWidth {
 		s.fail(w, http.StatusBadRequest,
-			fmt.Errorf("query width %d exceeds bound k=%d", plan.Width, req.MaxWidth), nil)
+			fmt.Errorf("query width %d exceeds bound k=%d", pl.Width, req.MaxWidth), nil)
 		return
 	}
 
@@ -279,8 +287,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	resp := QueryResponse{
 		Database:   req.Database,
 		Engine:     engineName,
-		Width:      plan.Width,
-		Arity:      plan.Query.Arity(),
+		Width:      pl.Width,
+		Arity:      pl.Query.Arity(),
 		PlanCached: planCached,
 	}
 
@@ -295,7 +303,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		run := func() (evalOutcome, error) {
 			s.evalsInFlight.Add(1)
 			defer s.evalsInFlight.Add(-1)
-			ans, st, err := bvq.EvalStatsContext(ctx, plan.Query, nd.db, engine, opts)
+			// The compiled engine reuses the DAG plan prepared when the
+			// query entered the plan cache — compilation is amortized the
+			// same way parsing is. A nil Prepared (non-compilable fragment)
+			// falls through to the generic path, which recompiles and
+			// surfaces the real error.
+			var ans *bvq.Relation
+			var st *eval.Stats
+			var err error
+			if engine == bvq.EngineCompiled && pl.Prepared != nil {
+				ans, st, err = eval.EvalPlanContext(ctx, pl.Prepared, nd.db, opts)
+			} else {
+				ans, st, err = bvq.EvalStatsContext(ctx, pl.Query, nd.db, engine, opts)
+			}
 			// Fold this run's work — complete or partial — into the
 			// aggregate gauges before anything is shared or cached.
 			if st != nil {
