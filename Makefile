@@ -14,7 +14,7 @@ all: vet test build
 check: docs
 	$(GO) vet ./...
 	$(GO) test -race ./...
-	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/
+	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/ ./internal/metrics/
 	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled' ./internal/eval/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/eval/ ./internal/relation/ ./internal/bitset/
 
@@ -40,6 +40,7 @@ docs:
 	@$(GO) doc . ModelCheck >/dev/null
 	@$(GO) doc ./internal/server >/dev/null
 	@$(GO) doc ./internal/cache >/dev/null
+	@$(GO) doc ./internal/metrics >/dev/null
 	@echo "docs: gofmt clean, examples pass, go doc smoke ok"
 
 race:

@@ -190,7 +190,7 @@ func EvalStatsContext(ctx context.Context, q Query, db *Database, engine Engine,
 	case EngineAlgebra:
 		return eval.AlgebraContext(ctx, q, db)
 	case EngineMonotone:
-		return eval.MonotoneContext(ctx, q, db)
+		return eval.MonotoneContext(ctx, q, db, opts)
 	case EngineCompiled:
 		return eval.CompiledContext(ctx, q, db, opts)
 	case EngineESO:

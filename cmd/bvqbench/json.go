@@ -124,7 +124,7 @@ func evalByName(name string, q logic.Query, db *database.Database) (*relation.Se
 	case "compiled":
 		return eval.CompiledStats(q, db, nil)
 	case "monotone":
-		return eval.MonotoneStats(q, db)
+		return eval.MonotoneStats(q, db, nil)
 	}
 	return nil, nil, fmt.Errorf("bvqbench: unknown engine %q", name)
 }

@@ -4,11 +4,16 @@
 // series, and checks that all engines agree on the answers. EXPERIMENTS.md
 // records a run of this tool next to the paper's claims.
 //
-// Usage: bvqbench [-quick] [-json]
+// Usage: bvqbench [-quick] [-json] [-scrape http://host:8080/metrics]
 //
 // With -json the tool skips the prose tables and instead emits one JSON
 // record per (workload, engine, size) cell — see Record in json.go — for
 // the engine-comparison workloads (tc-lfp, reach-lfp, mu-fp2, pfp-grow).
+//
+// With -scrape the tool instead fetches a running bvqd's /metrics endpoint,
+// validates the Prometheus exposition format, and emits one JSON record per
+// sample (see ScrapeRecord in scrape.go) — so a load run's server-side view
+// lands in the same JSON-Lines stream as the benchmark records.
 package main
 
 import (
@@ -33,8 +38,9 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "smaller sweeps")
-	jsonMode = flag.Bool("json", false, "emit machine-readable engine-comparison records (JSON Lines)")
+	quick     = flag.Bool("quick", false, "smaller sweeps")
+	jsonMode  = flag.Bool("json", false, "emit machine-readable engine-comparison records (JSON Lines)")
+	scrapeURL = flag.String("scrape", "", "scrape a bvqd /metrics endpoint into JSON Lines instead of benchmarking")
 )
 
 // writeErr records the first failed write to stdout. Sweep tables are the
@@ -56,6 +62,10 @@ func outln(a ...any) {
 
 func main() {
 	flag.Parse()
+	if *scrapeURL != "" {
+		runScrape(*scrapeURL)
+		return
+	}
 	if *jsonMode {
 		runJSON(*quick)
 		return

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// ScrapeRecord is one metric sample scraped from a bvqd /metrics endpoint,
+// flattened into the same JSON-Lines shape as the benchmark records so a
+// single jq pipeline can join "what the benchmark measured" with "what the
+// daemon observed" (cache hit ratios, coalescing rate, shed rate) for one
+// load run.
+type ScrapeRecord struct {
+	Metric string            `json:"metric"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// runScrape fetches url (a bvqd /metrics endpoint), validates the
+// exposition format with the same parser the server's tests use, and
+// prints one ScrapeRecord per sample.
+func runScrape(url string) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		die(fmt.Errorf("scraping %s: %w", url, err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		die(fmt.Errorf("scraping %s: status %s", url, resp.Status))
+	}
+	fams, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		die(fmt.Errorf("scraping %s: invalid exposition format: %w", url, err))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	for _, fam := range fams {
+		for _, s := range fam.Samples {
+			rec := ScrapeRecord{Metric: s.Name, Type: fam.Type, Value: s.Value}
+			if len(s.Labels) > 0 {
+				rec.Labels = s.Labels
+			}
+			if err := enc.Encode(rec); err != nil {
+				die(err)
+			}
+		}
+	}
+}

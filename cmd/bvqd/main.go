@@ -2,18 +2,22 @@
 // long-running daemon that loads one or more named databases and answers
 // queries with plan caching, result caching, single-flight dedup of
 // concurrent identical requests, per-request deadlines enforced by
-// cancellation at fixpoint-stage boundaries, and live counters.
+// cancellation at fixpoint-stage boundaries, admission control with
+// load shedding, Prometheus metrics, and structured slow-query logs.
 //
 // Usage:
 //
 //	bvqd -db graph=examples/data/graph.db [-db corp=examples/data/corporate.db] \
 //	     [-addr :8080] [-ordered] [-plan-cache 1024] [-result-cache 4096] \
-//	     [-default-timeout 10s] [-max-timeout 60s]
+//	     [-default-timeout 10s] [-max-timeout 60s] \
+//	     [-max-concurrent 8] [-max-queue 16] [-retry-after 1s] \
+//	     [-slow-query 1s] [-pprof localhost:6060]
 //
 // Endpoints (see OPERATIONS.md for the full request/response schema):
 //
 //	POST /query    {"database": "graph", "query": "(x, y). exists z. E(x, z) & E(z, y)"}
 //	GET  /stats    JSON counters: caches, in-flight gauges, aggregate work
+//	GET  /metrics  Prometheus text-format metrics
 //	GET  /healthz  liveness
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
@@ -26,7 +30,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for the -pprof listener
 	"os"
 	"os/signal"
 	"strings"
@@ -70,16 +76,32 @@ func main() {
 		resultCache    = flag.Int("result-cache", server.DefaultResultCacheSize, "result cache capacity in entries (negative disables)")
 		defaultTimeout = flag.Duration("default-timeout", 10*time.Second, "evaluation deadline for requests that do not set timeout_ms (0: none)")
 		maxTimeout     = flag.Duration("max-timeout", time.Minute, "upper clamp on per-request deadlines (0: none)")
+		maxConcurrent  = flag.Int("max-concurrent", 0, "max evaluations running at once (0: unlimited)")
+		maxQueue       = flag.Int("max-queue", 0, "max requests waiting for an evaluation slot before shedding 429 (0: 2×max-concurrent)")
+		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		slowQuery      = flag.Duration("slow-query", time.Second, "log requests at least this slow as JSON on stderr (0: disable)")
+		pprofAddr      = flag.String("pprof", "", "serve /debug/pprof on this separate address (empty: disabled)")
 	)
 	flag.Var(dbs, "db", "serve a database as name=path (repeatable); required")
 	flag.Parse()
-	if err := run(dbs, *addr, *ordered, *planCache, *resultCache, *defaultTimeout, *maxTimeout); err != nil {
+	cfg := server.Config{
+		PlanCacheSize:      *planCache,
+		ResultCacheSize:    *resultCache,
+		DefaultTimeout:     *defaultTimeout,
+		MaxTimeout:         *maxTimeout,
+		MaxConcurrentEvals: *maxConcurrent,
+		MaxEvalQueue:       *maxQueue,
+		RetryAfter:         *retryAfter,
+		SlowQuery:          *slowQuery,
+		Logger:             slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+	}
+	if err := run(dbs, *addr, *pprofAddr, *ordered, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bvqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbs dbFlags, addr string, ordered bool, planCache, resultCache int, defaultTimeout, maxTimeout time.Duration) error {
+func run(dbs dbFlags, addr, pprofAddr string, ordered bool, cfg server.Config) error {
 	if len(dbs) == 0 {
 		return fmt.Errorf("missing -db name=path")
 	}
@@ -87,18 +109,24 @@ func run(dbs dbFlags, addr string, ordered bool, planCache, resultCache int, def
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
-		Databases:       loaded,
-		PlanCacheSize:   planCache,
-		ResultCacheSize: resultCache,
-		DefaultTimeout:  defaultTimeout,
-		MaxTimeout:      maxTimeout,
-	})
+	cfg.Databases = loaded
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
 	for name, db := range loaded {
 		log.Printf("serving %q: domain %d, relations %v", name, db.Size(), db.Names())
+	}
+	if pprofAddr != "" {
+		// The pprof handlers live on DefaultServeMux (blank import above);
+		// serving them on their own listener keeps profiling off the query
+		// port, so it can be bound to localhost while /query is public.
+		go func() {
+			log.Printf("pprof listening on %s", pprofAddr)
+			if err := http.ListenAndServe(pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}

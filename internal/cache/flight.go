@@ -2,8 +2,15 @@ package cache
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 )
+
+// ErrPanicked is wrapped into the error that Do returns — to the leader and
+// every follower alike — when the leader's fn panics. The panic value is
+// captured in the message; test with errors.Is(err, ErrPanicked).
+var ErrPanicked = errors.New("cache: single-flight leader panicked")
 
 // Flight deduplicates concurrent calls by key: while one caller (the
 // leader) runs fn, every other caller with the same key blocks and then
@@ -36,6 +43,11 @@ func NewFlight[V any]() *Flight[V] {
 // followers, false for the leader), and the error. A follower whose ctx
 // fires before the leader finishes returns ctx.Err() without waiting
 // further; the leader ignores ctx here — fn is expected to honor it.
+//
+// A panic in fn does not propagate: it is recovered and converted into an
+// ErrPanicked-wrapped error delivered to the leader and all followers, and
+// the in-flight entry is removed either way, so the key is immediately
+// reusable and no follower is stranded.
 func (f *Flight[V]) Do(ctx context.Context, key string, fn func() (V, error)) (val V, shared bool, err error) {
 	f.mu.Lock()
 	if c, ok := f.calls[key]; ok {
@@ -52,11 +64,22 @@ func (f *Flight[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v
 	f.calls[key] = c
 	f.mu.Unlock()
 
-	c.val, c.err = fn()
-	f.mu.Lock()
-	delete(f.calls, key)
-	f.mu.Unlock()
-	close(c.done)
+	func() {
+		// The defer runs even when fn panics: record the panic as the call's
+		// error, then unconditionally unregister the key and release the
+		// followers. Ordering matters — c.err must be set before close(done).
+		defer func() {
+			if p := recover(); p != nil {
+				var zero V
+				c.val, c.err = zero, fmt.Errorf("%w: %v", ErrPanicked, p)
+			}
+			f.mu.Lock()
+			delete(f.calls, key)
+			f.mu.Unlock()
+			close(c.done)
+		}()
+		c.val, c.err = fn()
+	}()
 	return c.val, false, c.err
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/database"
 	"repro/internal/logic"
@@ -359,12 +360,23 @@ func (c *buCtx) evalFix(g logic.Fix) (*relation.Dense, error) {
 	}
 	restore := c.env.bind(g.Rel, boundRel{dense: cur, params: params})
 	defer restore()
+	// Stage tracing state lives entirely behind the nil check: an untraced
+	// run takes no Count calls, no clock reads and no allocations here.
+	tr := tracerOf(c.opts)
+	var stage, prevCount int
+	if tr != nil {
+		prevCount = cur.Count()
+	}
 	for {
 		if err := checkCtx(c.ctx); err != nil {
 			cur.Release()
 			return nil, err
 		}
 		c.stats.addFixIterations(1)
+		var stageStart time.Time
+		if tr != nil {
+			stageStart = time.Now()
+		}
 		c.env.rels[g.Rel] = boundRel{dense: cur, params: params}
 		body, err := c.eval(g.Body)
 		if err != nil {
@@ -376,6 +388,13 @@ func (c *buCtx) evalFix(g logic.Fix) (*relation.Dense, error) {
 			// Inflationary stages: S_{i+1} = S_i ∪ φ(S_i); converge within
 			// n^ext steps with no positivity requirement.
 			next.UnionWith(cur)
+		}
+		if tr != nil {
+			stage++
+			n := next.Count()
+			tr(TraceEvent{Engine: "bottomup", Fixpoint: g.Rel, Op: g.Op.String(),
+				Stage: stage, Tuples: n, Delta: n - prevCount, Elapsed: time.Since(stageStart)})
+			prevCount = n
 		}
 		if next.Equal(cur) {
 			next.Release()
@@ -518,11 +537,17 @@ func decodeAssign(a, n int, buf []int) {
 // and returns the limit as an m-ary dense relation (empty if the run is
 // periodic with period > 1, per §2.2).
 func (c *buCtx) pfpOne(g logic.Fix, msp *relation.Space, varAxes, paramAxes, assign []int, mode CycleMode, budget int) (*relation.Dense, error) {
+	tr := tracerOf(c.opts)
+	var stage int
 	step := func(s *relation.Dense) (*relation.Dense, error) {
 		if err := checkCtx(c.ctx); err != nil {
 			return nil, err
 		}
 		c.stats.addFixIterations(1)
+		var stageStart time.Time
+		if tr != nil {
+			stageStart = time.Now()
+		}
 		restore := c.env.bind(g.Rel, boundRel{dense: s})
 		body, err := c.eval(g.Body)
 		restore()
@@ -531,6 +556,12 @@ func (c *buCtx) pfpOne(g logic.Fix, msp *relation.Space, varAxes, paramAxes, ass
 		}
 		next := body.ProjectAt(msp, varAxes, paramAxes, assign)
 		body.Release()
+		if tr != nil {
+			stage++
+			n := next.Count()
+			tr(TraceEvent{Engine: "bottomup", Fixpoint: g.Rel, Op: g.Op.String(),
+				Stage: stage, Tuples: n, Delta: n - s.Count(), Elapsed: time.Since(stageStart)})
+		}
 		return next, nil
 	}
 	if mode == CycleBrent {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/database"
 	"repro/internal/logic"
@@ -328,6 +329,17 @@ func (r *cpRun) evalFix(n int) (*relation.Dense, error) {
 		r.binding[b] = nil
 		return nil, err
 	}
+	tr := tracerOf(r.opts)
+	var stage, prevCount int
+	if tr != nil {
+		prevCount = cur.Count()
+	}
+	trace := func(start time.Time, tuples int) {
+		stage++
+		tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(),
+			Stage: stage, Tuples: tuples, Delta: tuples - prevCount, Elapsed: time.Since(start)})
+		prevCount = tuples
+	}
 	for {
 		if err := checkCtx(r.ctx); err != nil {
 			return fail(err)
@@ -335,6 +347,10 @@ func (r *cpRun) evalFix(n int) (*relation.Dense, error) {
 		r.stats.addFixIterations(1)
 		r.stats.addNodesReused(int64(len(r.p.PreEval[b])))
 		r.binding[b] = cur
+		var stageStart time.Time
+		if tr != nil {
+			stageStart = time.Now()
+		}
 
 		if delta != nil {
 			// Semi-naive stage: push ΔS through the dirty nodes.
@@ -348,11 +364,17 @@ func (r *cpRun) evalFix(n int) (*relation.Dense, error) {
 					nd.Release()
 				}
 				delta.Release()
+				if tr != nil {
+					trace(stageStart, prevCount) // converging stage: delta 0
+				}
 				break // body gained nothing: cur is the fixpoint
 			}
 			cur.UnionWith(nd)
 			delta.Release()
 			delta = nd
+			if tr != nil {
+				trace(stageStart, prevCount+nd.Count())
+			}
 			continue
 		}
 
@@ -367,6 +389,9 @@ func (r *cpRun) evalFix(n int) (*relation.Dense, error) {
 		if fx.Op == logic.IFP {
 			// Inflationary stages: S_{i+1} = S_i ∪ φ(S_i).
 			next.UnionWith(cur)
+		}
+		if tr != nil {
+			trace(stageStart, next.Count())
 		}
 		if next.Equal(cur) {
 			next.Release()
@@ -697,6 +722,8 @@ func (r *cpRun) evalPFP(n int) (*relation.Dense, error) {
 func (r *cpRun) pfpRun(n int, msp *relation.Space, assign []int, mode CycleMode, budget int) (*relation.Dense, error) {
 	fx := r.p.Nodes[n].Fix
 	b := fx.Binder
+	tr := tracerOf(r.opts)
+	var stage int
 	step := func(s *relation.Dense) (*relation.Dense, error) {
 		if err := checkCtx(r.ctx); err != nil {
 			return nil, err
@@ -704,13 +731,24 @@ func (r *cpRun) pfpRun(n int, msp *relation.Space, assign []int, mode CycleMode,
 		r.stats.addFixIterations(1)
 		r.stats.addNodesReused(int64(len(r.p.PreEval[b])))
 		r.binding[b] = s
+		var stageStart time.Time
+		if tr != nil {
+			stageStart = time.Now()
+		}
 		for _, d := range r.p.Dirty[b] {
 			r.invalidate(d)
 		}
 		if err := r.evalStage(b); err != nil {
 			return nil, err
 		}
-		return r.val[fx.Body].ProjectAt(msp, fx.VarAxes, fx.ParamAxes, assign), nil
+		next := r.val[fx.Body].ProjectAt(msp, fx.VarAxes, fx.ParamAxes, assign)
+		if tr != nil {
+			stage++
+			nc := next.Count()
+			tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(),
+				Stage: stage, Tuples: nc, Delta: nc - s.Count(), Elapsed: time.Since(stageStart)})
+		}
+		return next, nil
 	}
 	defer func() { r.binding[b] = nil }()
 	if mode == CycleBrent {

@@ -31,7 +31,7 @@ func TestContextExpiredBeforeEval(t *testing.T) {
 	if _, err := NaiveContext(ctx, q, db); !errors.Is(err, context.Canceled) {
 		t.Fatalf("NaiveContext after cancel: err = %v, want context.Canceled", err)
 	}
-	if _, _, err := MonotoneContext(ctx, q, db); !errors.Is(err, context.Canceled) {
+	if _, _, err := MonotoneContext(ctx, q, db, nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("MonotoneContext after cancel: err = %v, want context.Canceled", err)
 	}
 	fo := logic.MustQuery([]logic.Var{"x", "y"},

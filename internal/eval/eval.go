@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/database"
 	"repro/internal/logic"
@@ -69,6 +70,54 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 preserves fully serial evaluation. The answer
 	// and all Stats counters are identical at every setting.
 	Parallelism int
+	// Tracer, when non-nil, receives one TraceEvent per completed fixpoint
+	// stage from the BottomUp, Monotone and Compiled evaluators (including
+	// every PFP stage of every parameter assignment). A nil Tracer is
+	// zero-cost: the engines hoist the nil check out of the stage work, so
+	// no counting, timing or allocation happens on the hot path. The hook
+	// runs inline on the evaluating goroutine — keep it cheap — and MUST be
+	// safe for concurrent use: the parallel PFP sweep and the compiled wave
+	// scheduler fire it from several workers at once. Tracer never changes
+	// answers, so it is excluded from result-cache keys.
+	Tracer Tracer
+}
+
+// Tracer is the stage-boundary observation hook of Options. See
+// Options.Tracer for the concurrency and cost contract.
+type Tracer func(TraceEvent)
+
+// TraceEvent describes one completed fixpoint stage.
+type TraceEvent struct {
+	// Engine is the evaluator that ran the stage: bottomup, monotone or
+	// compiled.
+	Engine string
+	// Fixpoint is the recursion relation bound by the fixpoint operator
+	// (e.g. "S" in [lfp S(x). …]).
+	Fixpoint string
+	// Op is the operator: lfp, gfp, ifp or pfp.
+	Op string
+	// Stage is the 1-based stage index within one fixpoint run. PFP runs
+	// restart the index per parameter assignment, and Brent cycle detection
+	// re-executes stages it revisits — the trace reflects work actually
+	// performed, not the abstract stage sequence.
+	Stage int
+	// Tuples is the stage relation's tuple count after this stage.
+	Tuples int
+	// Delta is the tuple-count change relative to the previous stage.
+	// Non-negative for LFP/IFP (increasing chains) and non-positive for
+	// GFP; PFP stages may move either way.
+	Delta int
+	// Elapsed is the wall-clock time this stage took, including the body
+	// re-evaluation that produced it.
+	Elapsed time.Duration
+}
+
+// tracerOf resolves the Options.Tracer hook (nil Options means no tracing).
+func tracerOf(opts *Options) Tracer {
+	if opts == nil {
+		return nil
+	}
+	return opts.Tracer
 }
 
 // parallelism resolves the Options.Parallelism knob.

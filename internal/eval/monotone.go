@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strconv"
+	"time"
 
 	"repro/internal/database"
 	"repro/internal/logic"
@@ -28,19 +29,21 @@ import (
 // nondeterministic machinery of Theorem 3.5 (FindCertificate /
 // VerifyCertificate) or the naive BottomUp evaluator.
 func Monotone(q logic.Query, db *database.Database) (*relation.Set, error) {
-	ans, _, err := MonotoneStats(q, db)
+	ans, _, err := MonotoneStats(q, db, nil)
 	return ans, err
 }
 
-// MonotoneStats is Monotone with work statistics.
-func MonotoneStats(q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
-	return MonotoneContext(context.Background(), q, db)
+// MonotoneStats is Monotone with options and work statistics. Monotone
+// honors only the observation knobs of Options (Tracer); width bounds and
+// PFP settings do not apply to its fragment.
+func MonotoneStats(q logic.Query, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
+	return MonotoneContext(context.Background(), q, db, opts)
 }
 
 // MonotoneContext is MonotoneStats honoring a context: cancellation is
 // checked once per fixpoint iteration, like BottomUpContext. On cancellation
 // the returned Stats hold the work completed so far.
-func MonotoneContext(ctx context.Context, q logic.Query, db *database.Database) (*relation.Set, *Stats, error) {
+func MonotoneContext(ctx context.Context, q logic.Query, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
 	if err := q.Validate(signatureOf(db)); err != nil {
 		return nil, nil, err
 	}
@@ -70,7 +73,7 @@ func MonotoneContext(ctx context.Context, q logic.Query, db *database.Database) 
 	if err != nil {
 		return nil, nil, err
 	}
-	c := &monoCtx{ctx: ctx, db: db, sp: sp, axes: make(map[logic.Var]int, len(vars)), env: newEnv(), stats: &Stats{}, memo: make(map[string]*relation.Set)}
+	c := &monoCtx{ctx: ctx, db: db, sp: sp, axes: make(map[logic.Var]int, len(vars)), env: newEnv(), stats: &Stats{}, opts: opts, memo: make(map[string]*relation.Set)}
 	for i, v := range vars {
 		c.axes[v] = i
 	}
@@ -92,6 +95,7 @@ type monoCtx struct {
 	axes  map[logic.Var]int
 	env   *env
 	stats *Stats
+	opts  *Options
 	// memo warm-starts fixpoints across re-evaluations. Keys MUST identify
 	// the fixpoint's *occurrence*, not its text: two sibling fixpoints can
 	// have byte-identical bodies yet evaluate under different environments
@@ -193,11 +197,17 @@ func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
 	}
 	restore := c.env.bind(g.Rel, boundRel{set: cur, params: params})
 	defer restore()
+	tr := tracerOf(c.opts)
+	var stage int
 	for {
 		if err := checkCtx(c.ctx); err != nil {
 			return nil, err
 		}
 		c.stats.addFixIterations(1)
+		var stageStart time.Time
+		if tr != nil {
+			stageStart = time.Now()
+		}
 		c.env.rels[g.Rel] = boundRel{set: cur, params: params}
 		body, err := c.eval(g.Body, path+".b")
 		if err != nil {
@@ -212,6 +222,11 @@ func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
 			// check rejects IFP nested in or around other fixpoints, so it
 			// is never re-evaluated and the memo is never reused.)
 			next = next.Union(cur)
+		}
+		if tr != nil {
+			stage++
+			tr(TraceEvent{Engine: "monotone", Fixpoint: g.Rel, Op: g.Op.String(),
+				Stage: stage, Tuples: next.Len(), Delta: next.Len() - cur.Len(), Elapsed: time.Since(stageStart)})
 		}
 		if next.Equal(cur) {
 			break

@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+)
+
+// traceSink is a concurrency-safe TraceEvent collector for tests.
+type traceSink struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+func (s *traceSink) record(ev TraceEvent) {
+	s.mu.Lock()
+	s.events = append(s.events, ev)
+	s.mu.Unlock()
+}
+
+func (s *traceSink) snapshot() []TraceEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]TraceEvent(nil), s.events...)
+}
+
+func traceDB(t *testing.T) *database.Database {
+	t.Helper()
+	db, err := database.Parse(`
+domain = {0, 1, 2, 3, 4}
+E/2 = {(0, 1), (1, 2), (2, 3), (3, 4)}
+P/1 = {(0)}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func traceReachQuery() logic.Query {
+	return logic.MustQuery([]logic.Var{"u"},
+		logic.Lfp("S", []logic.Var{"x"},
+			logic.Or(logic.R("P", "x"),
+				logic.Exists(logic.And(logic.R("E", "z", "x"),
+					logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z")), "u"))
+}
+
+// TestTracerLFPStages checks the per-engine stage streams against the
+// FixIterations counter and the LFP chain invariants: 1-based consecutive
+// stage indices, non-negative deltas, tuple counts that accumulate them.
+func TestTracerLFPStages(t *testing.T) {
+	db := traceDB(t)
+	q := traceReachQuery()
+	runs := []struct {
+		name string
+		run  func(opts *Options) (*Stats, error)
+	}{
+		{"bottomup", func(opts *Options) (*Stats, error) { _, st, err := BottomUpStats(q, db, opts); return st, err }},
+		{"compiled", func(opts *Options) (*Stats, error) { _, st, err := CompiledStats(q, db, opts); return st, err }},
+		{"monotone", func(opts *Options) (*Stats, error) { _, st, err := MonotoneStats(q, db, opts); return st, err }},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			sink := &traceSink{}
+			st, err := r.run(&Options{Tracer: sink.record})
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := sink.snapshot()
+			if len(events) == 0 {
+				t.Fatal("tracer never fired")
+			}
+			if int64(len(events)) != st.FixIterations {
+				t.Fatalf("events = %d, FixIterations = %d", len(events), st.FixIterations)
+			}
+			tuples := 0
+			for i, ev := range events {
+				if ev.Engine != r.name || ev.Op != "lfp" || ev.Fixpoint != "S" {
+					t.Fatalf("event %d = %+v", i, ev)
+				}
+				if ev.Stage != i+1 {
+					t.Fatalf("event %d: stage %d, want %d", i, ev.Stage, i+1)
+				}
+				if ev.Delta < 0 {
+					t.Fatalf("event %d: negative LFP delta %d", i, ev.Delta)
+				}
+				tuples += ev.Delta
+				if ev.Tuples != tuples {
+					t.Fatalf("event %d: tuples %d, deltas sum to %d", i, ev.Tuples, tuples)
+				}
+				if ev.Elapsed < 0 {
+					t.Fatalf("event %d: negative elapsed %v", i, ev.Elapsed)
+				}
+			}
+			if last := events[len(events)-1]; last.Delta != 0 {
+				t.Fatalf("converging stage has delta %d, want 0", last.Delta)
+			}
+		})
+	}
+}
+
+// TestTracerPFP checks that PFP stage events flow from both dense engines,
+// with per-run restarting stage indices.
+func TestTracerPFP(t *testing.T) {
+	db := traceDB(t)
+	q := logic.MustQuery([]logic.Var{"u"},
+		logic.Pfp("S", []logic.Var{"x"},
+			logic.Or(logic.R("S", "x"), logic.Or(logic.R("P", "x"),
+				logic.Exists(logic.And(logic.R("E", "z", "x"),
+					logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z"))), "u"))
+	for _, engine := range []string{"bottomup", "compiled"} {
+		t.Run(engine, func(t *testing.T) {
+			sink := &traceSink{}
+			opts := &Options{Tracer: sink.record}
+			var st *Stats
+			var err error
+			if engine == "bottomup" {
+				_, st, err = BottomUpStats(q, db, opts)
+			} else {
+				_, st, err = CompiledStats(q, db, opts)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			events := sink.snapshot()
+			if int64(len(events)) != st.FixIterations {
+				t.Fatalf("events = %d, FixIterations = %d", len(events), st.FixIterations)
+			}
+			for i, ev := range events {
+				if ev.Op != "pfp" || ev.Engine != engine {
+					t.Fatalf("event %d = %+v", i, ev)
+				}
+			}
+		})
+	}
+}
+
+// TestTracerParallelPFPSweep runs a parametrized PFP with a worker pool and
+// a tracing hook: the event count must match the serial run (the sweep is
+// deterministic), and the concurrent calls are the -race fodder.
+func TestTracerParallelPFPSweep(t *testing.T) {
+	db := traceDB(t)
+	// One parameter variable y makes the sweep n parameter assignments wide.
+	q := logic.MustQuery([]logic.Var{"u", "y"},
+		logic.Pfp("S", []logic.Var{"x"},
+			logic.Or(logic.R("S", "x"), logic.Or(logic.R("E", "y", "x"),
+				logic.Exists(logic.And(logic.R("E", "z", "x"),
+					logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z"))), "u"))
+	serial := &traceSink{}
+	_, stSerial, err := BottomUpStats(q, db, &Options{Parallelism: 1, Tracer: serial.record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := &traceSink{}
+	_, stPar, err := BottomUpStats(q, db, &Options{Parallelism: 4, Tracer: parallel.record})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stSerial.FixIterations != stPar.FixIterations {
+		t.Fatalf("FixIterations diverge: serial %d, parallel %d", stSerial.FixIterations, stPar.FixIterations)
+	}
+	if len(serial.snapshot()) != len(parallel.snapshot()) {
+		t.Fatalf("event counts diverge: serial %d, parallel %d", len(serial.snapshot()), len(parallel.snapshot()))
+	}
+}
+
+// TestTracerNilIsIgnored locks the zero-cost contract's functional half: a
+// nil hook changes nothing about answers or statistics.
+func TestTracerNilIsIgnored(t *testing.T) {
+	db := traceDB(t)
+	q := traceReachQuery()
+	ansTraced, stTraced, err := BottomUpStats(q, db, &Options{Tracer: func(TraceEvent) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansPlain, stPlain, err := BottomUpStats(q, db, &Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ansTraced.Equal(ansPlain) {
+		t.Fatal("tracer changed the answer")
+	}
+	if stTraced.FixIterations != stPlain.FixIterations || stTraced.SubformulaEvals != stPlain.SubformulaEvals {
+		t.Fatalf("tracer changed stats: %+v vs %+v", stTraced, stPlain)
+	}
+}

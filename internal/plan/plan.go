@@ -98,7 +98,10 @@ type Node struct {
 // FixInfo is the symbolic description of a fixpoint application
 // [op Rel(vars). body](args).
 type FixInfo struct {
-	Op     logic.FixOp
+	Op logic.FixOp
+	// Rel is the recursion relation's name, kept for observability (the
+	// eval.Tracer stage events name the fixpoint they belong to).
+	Rel    string
 	Binder int
 	Body   int
 	// VarAxes are the recursion-tuple axes; ParamAxes the parameter axes
@@ -459,6 +462,7 @@ func (c *compiler) lowerFix(g logic.Fix, scope map[string]int) (int, error) {
 
 	fx := &FixInfo{
 		Op:        g.Op,
+		Rel:       g.Rel,
 		Binder:    binder,
 		Body:      body,
 		VarAxes:   varAxes,

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is returned by limiter.acquire when both the concurrency
+// slots and the wait queue are full. The handler maps it to 429 with a
+// Retry-After header — load shedding, not failure.
+var errOverloaded = errors.New("server: overloaded: all evaluation slots busy and wait queue full")
+
+// limiter is the admission controller in front of evaluation: at most
+// cap(sem) evaluations run concurrently, at most maxQueue callers wait for a
+// slot, and everyone beyond that is shed immediately. A nil *limiter is
+// valid and admits everything — the unlimited default.
+//
+// The queue is a counted semaphore wait, not a FIFO: Go's runtime wakes
+// channel waiters in near-FIFO order, which is fair enough for load
+// shedding and avoids a second lock on the hot path.
+type limiter struct {
+	sem      chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+}
+
+// newLimiter builds a limiter admitting maxConcurrent evaluations with a
+// wait queue of maxQueue. maxConcurrent <= 0 means unlimited (returns nil);
+// maxQueue <= 0 defaults to 2×maxConcurrent.
+func newLimiter(maxConcurrent, maxQueue int) *limiter {
+	if maxConcurrent <= 0 {
+		return nil
+	}
+	if maxQueue <= 0 {
+		maxQueue = 2 * maxConcurrent
+	}
+	return &limiter{sem: make(chan struct{}, maxConcurrent), maxQueue: int64(maxQueue)}
+}
+
+// acquire takes an evaluation slot, waiting in the bounded queue if none is
+// free. It returns errOverloaded when the queue is already full, and
+// ctx.Err() when the context fires while queued. A nil error means the
+// caller holds a slot and must release() it.
+func (l *limiter) acquire(ctx context.Context) error {
+	if l == nil {
+		return nil
+	}
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		return errOverloaded
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot taken by a successful acquire.
+func (l *limiter) release() {
+	if l == nil {
+		return
+	}
+	<-l.sem
+}
+
+// queueDepth reports how many callers are currently waiting for a slot.
+func (l *limiter) queueDepth() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.queued.Load()
+}
+
+// inUse reports how many slots are currently held.
+func (l *limiter) inUse() int64 {
+	if l == nil {
+		return 0
+	}
+	return int64(len(l.sem))
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serverMetrics is the Prometheus-facing view of the server. Counters that
+// already exist as atomics on Server (kept for the JSON /stats endpoint) are
+// exposed through func-backed collectors read at scrape time — one source of
+// truth, no double bookkeeping. Only the instruments with no /stats
+// counterpart (latency histograms, shed, recovered panics, slow queries,
+// per-status responses) are first-class metrics.
+type serverMetrics struct {
+	registry *metrics.Registry
+	latency  *metrics.HistogramVec // bvqd_query_latency_seconds{engine}
+	shed     *metrics.Counter      // bvqd_shed_total
+	panics   *metrics.Counter      // bvqd_panics_recovered_total
+	slow     *metrics.Counter      // bvqd_slow_queries_total
+	statuses *metrics.CounterVec   // bvqd_responses_total{code}
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	r := metrics.NewRegistry()
+	m := &serverMetrics{
+		registry: r,
+		latency: r.NewHistogramVec("bvqd_query_latency_seconds",
+			"End-to-end /query handling latency by evaluation engine.",
+			"engine", metrics.DefBuckets),
+		shed: r.NewCounter("bvqd_shed_total",
+			"Requests shed with 429 by the admission controller."),
+		panics: r.NewCounter("bvqd_panics_recovered_total",
+			"Evaluator panics recovered and converted to 500 responses."),
+		slow: r.NewCounter("bvqd_slow_queries_total",
+			"Requests slower than the slow-query threshold."),
+		statuses: r.NewCounterVec("bvqd_responses_total",
+			"Responses to /query by HTTP status code.", "code"),
+	}
+
+	r.NewCounterFunc("bvqd_queries_total",
+		"Requests received on /query.", s.queries.Load)
+	r.NewCounterFunc("bvqd_errors_total",
+		"Requests answered with a 4xx or 5xx status.", s.errorsN.Load)
+	r.NewCounterFunc("bvqd_timeouts_total",
+		"Requests answered 504 after their evaluation deadline fired.", s.timeouts.Load)
+	r.NewCounterFunc("bvqd_coalesced_total",
+		"Requests served by another request's in-flight evaluation.", s.coalesced.Load)
+
+	r.NewGaugeFunc("bvqd_requests_in_flight",
+		"/query requests currently being handled.", s.requestsInFlight.Load)
+	r.NewGaugeFunc("bvqd_evals_in_flight",
+		"Evaluations currently running (after dedup and admission).", s.evalsInFlight.Load)
+	r.NewGaugeFunc("bvqd_queue_depth",
+		"Requests waiting for an evaluation slot.", s.limiter.queueDepth)
+	r.NewGaugeFunc("bvqd_eval_slots_in_use",
+		"Admission-controller evaluation slots currently held.", s.limiter.inUse)
+
+	r.NewCounterFunc("bvqd_plan_cache_hits_total",
+		"Plan cache lookups served without parsing.",
+		func() int64 { h, _, _ := s.plans.Counters(); return h })
+	r.NewCounterFunc("bvqd_plan_cache_misses_total",
+		"Plan cache lookups that had to parse and compile.",
+		func() int64 { _, m, _ := s.plans.Counters(); return m })
+	r.NewCounterFunc("bvqd_plan_cache_evictions_total",
+		"Plans evicted from the LRU plan cache.",
+		func() int64 { _, _, e := s.plans.Counters(); return e })
+	r.NewGaugeFunc("bvqd_plan_cache_size",
+		"Entries currently in the plan cache.",
+		func() int64 { return int64(s.plans.Len()) })
+	r.NewCounterFunc("bvqd_result_cache_hits_total",
+		"Result cache lookups served without evaluating.",
+		func() int64 { h, _, _ := s.results.Counters(); return h })
+	r.NewCounterFunc("bvqd_result_cache_misses_total",
+		"Result cache lookups that fell through to evaluation.",
+		func() int64 { _, m, _ := s.results.Counters(); return m })
+	r.NewCounterFunc("bvqd_result_cache_evictions_total",
+		"Results evicted from the LRU result cache.",
+		func() int64 { _, _, e := s.results.Counters(); return e })
+	r.NewGaugeFunc("bvqd_result_cache_size",
+		"Entries currently in the result cache.",
+		func() int64 { return int64(s.results.Len()) })
+
+	r.NewCounterFunc("bvqd_eval_subformula_evals_total",
+		"Subformula evaluations across all runs, including partial ones.",
+		s.subformulaEvals.Load)
+	r.NewCounterFunc("bvqd_eval_fix_iterations_total",
+		"Fixpoint stages across all runs, including partial ones.",
+		s.fixIterations.Load)
+
+	r.NewGaugeFunc("bvqd_uptime_seconds",
+		"Seconds since the server started.",
+		func() int64 { return int64(time.Since(s.start).Seconds()) })
+	return m
+}
+
+// observe records one finished /query request: latency under the resolved
+// engine name and the response status.
+func (m *serverMetrics) observe(engine string, status int, elapsed time.Duration) {
+	if engine == "" {
+		engine = "unknown"
+	}
+	m.latency.With(engine).Observe(elapsed.Seconds())
+	m.statuses.With(statusLabel(status)).Inc()
+}
+
+// statusLabel stringifies the handful of status codes the handler emits
+// without allocating through strconv at steady state.
+func statusLabel(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 422:
+		return "422"
+	case 429:
+		return "429"
+	case 500:
+		return "500"
+	case 504:
+		return "504"
+	}
+	return "other"
+}

@@ -19,8 +19,21 @@
 // eval.BottomUpContext), so a timed-out request returns within one stage of
 // its deadline with the partial work statistics it accumulated.
 //
+// Sustained traffic gets three more layers (see OPERATIONS.md):
+//
+//   - admission control: a configurable concurrency limit with a bounded
+//     wait queue in front of evaluation; overload is answered 429 with a
+//     Retry-After header instead of queueing without bound;
+//   - observability: Prometheus text-format metrics on GET /metrics,
+//     per-stage fixpoint tracing via the request's trace flag, and
+//     structured slow-query logs (log/slog JSON) keyed by request ID;
+//   - panic containment: an evaluator panic is recovered, counted, and
+//     answered 500 — it never takes down the daemon or strands coalesced
+//     followers.
+//
 // Endpoints: POST /query (JSON in/out), GET /stats (JSON counters),
-// GET /healthz. The package is stdlib-only; cmd/bvqd is the thin main.
+// GET /metrics (Prometheus text), GET /healthz. The package is stdlib-only;
+// cmd/bvqd is the thin main.
 package server
 
 import (
@@ -28,8 +41,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -55,6 +72,24 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps per-request deadlines. 0 means no clamp.
 	MaxTimeout time.Duration
+	// MaxConcurrentEvals bounds how many evaluations run at once (after
+	// cache hits and single-flight dedup). 0 means unlimited — the
+	// pre-admission-control behavior.
+	MaxConcurrentEvals int
+	// MaxEvalQueue bounds how many requests may wait for an evaluation
+	// slot; arrivals beyond it are shed with 429. 0 means
+	// 2×MaxConcurrentEvals. Ignored when MaxConcurrentEvals is 0.
+	MaxEvalQueue int
+	// RetryAfter is the Retry-After hint attached to 429 responses,
+	// rounded up to whole seconds. 0 means 1s.
+	RetryAfter time.Duration
+	// SlowQuery is the slow-query logging threshold: requests taking at
+	// least this long are logged through Logger at warn level. 0 disables
+	// slow-query logging.
+	SlowQuery time.Duration
+	// Logger receives structured logs (slow queries, recovered panics).
+	// nil means discard.
+	Logger *slog.Logger
 }
 
 // Cache sizing defaults. Plans are small (an AST per distinct query text);
@@ -66,6 +101,15 @@ const (
 	DefaultResultCacheSize = 4096
 )
 
+// maxTraceEvents caps the per-request trace a traced evaluation may return:
+// a runaway PFP sweep can produce millions of stage events, and the trace
+// is a debugging aid, not a firehose. Truncation is flagged in the response.
+const maxTraceEvents = 4096
+
+// errEvalPanic wraps a recovered evaluator panic; the handler maps it to a
+// 500 response.
+var errEvalPanic = errors.New("server: evaluation panicked")
+
 // Server is the bvqd HTTP query service. Construct with New; serve
 // Handler(); all methods are safe for concurrent use.
 type Server struct {
@@ -73,10 +117,17 @@ type Server struct {
 	plans   *cache.PlanCache
 	results *cache.ResultCache
 	flight  *cache.Flight[evalOutcome]
+	limiter *limiter
+	metrics *serverMetrics
+	logger  *slog.Logger
 
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
+	slowQuery      time.Duration
+	retryAfter     string // whole seconds, preformatted for the 429 header
 	start          time.Time
+
+	reqSeq atomic.Int64 // request-ID sequence
 
 	queries   atomic.Int64 // requests to /query
 	errorsN   atomic.Int64 // requests answered 4xx/5xx
@@ -88,6 +139,11 @@ type Server struct {
 
 	subformulaEvals atomic.Int64 // aggregate engine work, incl. partial runs
 	fixIterations   atomic.Int64
+
+	// testHookBeforeEval, when set, runs inside the evaluation closure after
+	// admission, before the engine. Tests use it to inject panics and to
+	// hold evaluation slots open.
+	testHookBeforeEval func()
 }
 
 type namedDB struct {
@@ -115,13 +171,25 @@ func New(cfg Config) (*Server, error) {
 	if resultSize == 0 {
 		resultSize = DefaultResultCacheSize
 	}
+	retryAfter := cfg.RetryAfter
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
 	s := &Server{
 		dbs:            make(map[string]*namedDB, len(cfg.Databases)),
 		plans:          cache.NewPlanCache(max(planSize, 0)),
 		results:        cache.NewResultCache(max(resultSize, 0)),
 		flight:         cache.NewFlight[evalOutcome](),
+		limiter:        newLimiter(cfg.MaxConcurrentEvals, cfg.MaxEvalQueue),
+		logger:         logger,
 		defaultTimeout: cfg.DefaultTimeout,
 		maxTimeout:     cfg.MaxTimeout,
+		slowQuery:      cfg.SlowQuery,
+		retryAfter:     strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second)),
 		start:          time.Now(),
 	}
 	for name, db := range cfg.Databases {
@@ -130,16 +198,40 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.dbs[name] = &namedDB{db: db, fp: db.Fingerprint()}
 	}
+	// Last: the metric collectors close over the fields initialized above.
+	s.metrics = newServerMetrics(s)
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP routes.
+// Handler returns the daemon's HTTP routes, wrapped in a recovery middleware
+// that converts any handler panic into a 500 instead of killing the
+// connection (and, under http.Server, flooding stderr with stack traces).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.metrics.registry.ServeHTTP)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// recoverPanics is the outer safety net: evaluation panics are already
+// recovered inside the evaluation closure, so this catches only bugs in the
+// handlers themselves.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Inc()
+				s.errorsN.Add(1)
+				s.logger.LogAttrs(r.Context(), slog.LevelError, "handler panic",
+					slog.String("path", r.URL.Path), slog.Any("panic", p))
+				writeJSON(w, http.StatusInternalServerError,
+					ErrorResponse{Error: fmt.Sprintf("internal error: %v", p)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // QueryRequest is the /query request body.
@@ -152,17 +244,23 @@ type QueryRequest struct {
 	// monotone, eso, certified, compiled). Empty means bottomup.
 	Engine string `json:"engine,omitempty"`
 	// MaxWidth rejects queries of width > MaxWidth (the Lᵏ membership
-	// check). 0 means unbounded.
+	// check). 0 means unbounded; negative is a 400.
 	MaxWidth int `json:"max_width,omitempty"`
-	// Parallelism bounds the PFP sweep's worker pool. 0 means GOMAXPROCS.
-	// Does not affect answers, only latency.
+	// Parallelism bounds the PFP sweep's worker pool. 0 means GOMAXPROCS;
+	// negative is a 400. Does not affect answers, only latency.
 	Parallelism int `json:"parallelism,omitempty"`
 	// TimeoutMS is this request's evaluation deadline in milliseconds,
-	// clamped to the server's maximum. 0 means the server default.
+	// clamped to the server's maximum. 0 means the server default;
+	// negative is a 400.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the result cache and single-flight dedup: the
 	// request always evaluates fresh and does not store its result.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Trace returns the evaluation's fixpoint-stage trace in the response.
+	// A traced request always evaluates fresh (no cache read, no
+	// coalescing — the trace must describe this run), but its result is
+	// still stored unless no_cache is also set.
+	Trace bool `json:"trace,omitempty"`
 	// Indices reports answer tuples as domain indices 0..n−1 instead of
 	// raw domain values.
 	Indices bool `json:"indices,omitempty"`
@@ -170,8 +268,11 @@ type QueryRequest struct {
 
 // QueryResponse is the /query success body.
 type QueryResponse struct {
-	Database string `json:"database"`
-	Engine   string `json:"engine"`
+	// RequestID identifies this request in slow-query logs; it is also
+	// returned in the X-Request-Id response header.
+	RequestID string `json:"request_id"`
+	Database  string `json:"database"`
+	Engine    string `json:"engine"`
 	// Width is the query's variable count (its Lᵏ class).
 	Width int `json:"width"`
 	// Arity is the answer arity; for arity 0 (Boolean queries) Truth is
@@ -192,11 +293,27 @@ type QueryResponse struct {
 	// (the original run's, when served from cache); nil for engines that
 	// do not report statistics.
 	Stats *StatsJSON `json:"stats,omitempty"`
+	// Trace is the fixpoint-stage trace when the request set trace;
+	// TraceTruncated reports that it was cut at the event cap.
+	Trace          []TraceStageJSON `json:"trace,omitempty"`
+	TraceTruncated bool             `json:"trace_truncated,omitempty"`
+}
+
+// TraceStageJSON is one fixpoint stage of a traced evaluation.
+type TraceStageJSON struct {
+	Engine    string  `json:"engine"`
+	Fixpoint  string  `json:"fixpoint"`
+	Op        string  `json:"op"`
+	Stage     int     `json:"stage"`
+	Tuples    int     `json:"tuples"`
+	Delta     int     `json:"delta"`
+	ElapsedUS float64 `json:"elapsed_us"`
 }
 
 // ErrorResponse is the /query error body.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 	// Stats carries the partial work statistics of a cancelled evaluation
 	// (504 only): what the engine had done when the deadline fired.
 	Stats *StatsJSON `json:"stats,omitempty"`
@@ -235,34 +352,76 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requestsInFlight.Add(1)
 	defer s.requestsInFlight.Add(-1)
 
+	reqID := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+
 	var req QueryRequest
+	var engineName string
+	status := http.StatusOK
+	defer func() {
+		elapsed := time.Since(start)
+		s.metrics.observe(engineName, status, elapsed)
+		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+			s.metrics.slow.Inc()
+			s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+				slog.String("request_id", reqID),
+				slog.String("database", req.Database),
+				slog.String("engine", engineName),
+				slog.String("query", req.Query),
+				slog.Int("status", status),
+				slog.Float64("elapsed_ms", float64(elapsed.Microseconds())/1000))
+		}
+	}()
+	fail := func(code int, err error, partial *StatsJSON) {
+		status = code
+		s.fail(w, code, err, partial, reqID)
+	}
+
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), nil)
+		fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), nil)
+		return
+	}
+	// Validate numeric wire fields up front: a negative value is always a
+	// client bug, and letting it through would select unintended semantics
+	// (e.g. a negative width bound disabling the Lᵏ check).
+	if req.Parallelism < 0 {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("invalid parallelism %d: must be ≥ 0 (0 means GOMAXPROCS)", req.Parallelism), nil)
+		return
+	}
+	if req.MaxWidth < 0 {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("invalid max_width %d: must be ≥ 0 (0 means unbounded)", req.MaxWidth), nil)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("invalid timeout_ms %d: must be ≥ 0 (0 means the server default)", req.TimeoutMS), nil)
 		return
 	}
 	nd, ok := s.dbs[req.Database]
 	if !ok {
-		s.fail(w, http.StatusNotFound, fmt.Errorf("unknown database %q", req.Database), nil)
+		fail(http.StatusNotFound, fmt.Errorf("unknown database %q", req.Database), nil)
 		return
 	}
-	engineName := req.Engine
+	engineName = req.Engine
 	if engineName == "" {
 		engineName = bvq.EngineBottomUp.String()
 	}
 	engine, err := bvq.EngineByName(engineName)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err, nil)
+		fail(http.StatusBadRequest, err, nil)
 		return
 	}
 	pl, planCached, err := s.plans.Load(req.Query)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, err, nil)
+		fail(http.StatusBadRequest, err, nil)
 		return
 	}
 	if req.MaxWidth > 0 && pl.Width > req.MaxWidth {
-		s.fail(w, http.StatusBadRequest,
+		fail(http.StatusBadRequest,
 			fmt.Errorf("query width %d exceeds bound k=%d", pl.Width, req.MaxWidth), nil)
 		return
 	}
@@ -282,9 +441,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	opts := &eval.Options{MaxWidth: req.MaxWidth, Parallelism: req.Parallelism}
+	var traceMu sync.Mutex
+	var traceEvents []TraceStageJSON
+	var traceTruncated bool
+	if req.Trace {
+		opts.Tracer = func(ev eval.TraceEvent) {
+			traceMu.Lock()
+			if len(traceEvents) < maxTraceEvents {
+				traceEvents = append(traceEvents, TraceStageJSON{
+					Engine:    ev.Engine,
+					Fixpoint:  ev.Fixpoint,
+					Op:        ev.Op,
+					Stage:     ev.Stage,
+					Tuples:    ev.Tuples,
+					Delta:     ev.Delta,
+					ElapsedUS: float64(ev.Elapsed.Nanoseconds()) / 1000,
+				})
+			} else {
+				traceTruncated = true
+			}
+			traceMu.Unlock()
+		}
+	}
+	// The tracer is excluded from the result key (it never changes the
+	// answer), so traced and untraced runs share cache entries.
 	key := cache.ResultKey(nd.fp, engineName, opts, req.Query)
 
 	resp := QueryResponse{
+		RequestID:  reqID,
 		Database:   req.Database,
 		Engine:     engineName,
 		Width:      pl.Width,
@@ -292,17 +476,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PlanCached: planCached,
 	}
 
+	// A traced request must run the evaluation itself: a cache read or a
+	// coalesced ride-along would return an answer with someone else's (or
+	// no) trace.
+	direct := req.NoCache || req.Trace
+
 	var out evalOutcome
-	if !req.NoCache {
+	if !direct {
 		if hit, ok := s.results.Get(key); ok {
 			resp.ResultCached = true
 			out = evalOutcome{answer: hit.Answer, stats: hit.Stats}
 		}
 	}
 	if !resp.ResultCached {
-		run := func() (evalOutcome, error) {
+		run := func() (out evalOutcome, err error) {
+			// Admission: take an evaluation slot or join the bounded wait
+			// queue; overload sheds with errOverloaded → 429, and a deadline
+			// firing while queued surfaces as the usual 504.
+			if aerr := s.limiter.acquire(ctx); aerr != nil {
+				return evalOutcome{err: aerr}, aerr
+			}
+			defer s.limiter.release()
 			s.evalsInFlight.Add(1)
 			defer s.evalsInFlight.Add(-1)
+			// Contain evaluator panics: convert to an error shared with any
+			// coalesced followers and answered 500. The deferred slot and
+			// gauge releases above still run, so a panicking query leaks
+			// nothing.
+			defer func() {
+				if p := recover(); p != nil {
+					s.metrics.panics.Inc()
+					s.logger.LogAttrs(ctx, slog.LevelError, "evaluator panic",
+						slog.String("request_id", reqID),
+						slog.String("query", req.Query),
+						slog.Any("panic", p))
+					err = fmt.Errorf("%w: %v", errEvalPanic, p)
+					out = evalOutcome{err: err}
+				}
+			}()
+			if s.testHookBeforeEval != nil {
+				s.testHookBeforeEval()
+			}
 			// The compiled engine reuses the DAG plan prepared when the
 			// query entered the plan cache — compilation is amortized the
 			// same way parsing is. A nil Prepared (non-compilable fragment)
@@ -310,11 +524,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// surfaces the real error.
 			var ans *bvq.Relation
 			var st *eval.Stats
-			var err error
+			var eerr error
 			if engine == bvq.EngineCompiled && pl.Prepared != nil {
-				ans, st, err = eval.EvalPlanContext(ctx, pl.Prepared, nd.db, opts)
+				ans, st, eerr = eval.EvalPlanContext(ctx, pl.Prepared, nd.db, opts)
 			} else {
-				ans, st, err = bvq.EvalStatsContext(ctx, pl.Query, nd.db, engine, opts)
+				ans, st, eerr = bvq.EvalStatsContext(ctx, pl.Query, nd.db, engine, opts)
 			}
 			// Fold this run's work — complete or partial — into the
 			// aggregate gauges before anything is shared or cached.
@@ -322,12 +536,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				s.subformulaEvals.Add(st.SubformulaEvals)
 				s.fixIterations.Add(st.FixIterations)
 			}
-			if err == nil && !req.NoCache {
+			if eerr == nil && !req.NoCache {
 				s.results.Put(key, cache.Result{Answer: ans, Stats: st})
 			}
-			return evalOutcome{answer: ans, stats: st, err: err}, err
+			return evalOutcome{answer: ans, stats: st, err: eerr}, eerr
 		}
-		if req.NoCache {
+		if direct {
 			out, _ = run()
 		} else {
 			var shared bool
@@ -344,12 +558,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if out.err != nil {
-		if errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled) {
+		switch {
+		case errors.Is(out.err, errOverloaded):
+			s.metrics.shed.Inc()
+			w.Header().Set("Retry-After", s.retryAfter)
+			fail(http.StatusTooManyRequests, out.err, nil)
+		case errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled):
 			s.timeouts.Add(1)
-			s.fail(w, http.StatusGatewayTimeout, out.err, statsJSON(out.stats))
-			return
+			fail(http.StatusGatewayTimeout, out.err, statsJSON(out.stats))
+		case errors.Is(out.err, errEvalPanic) || errors.Is(out.err, cache.ErrPanicked):
+			fail(http.StatusInternalServerError, out.err, nil)
+		default:
+			fail(http.StatusUnprocessableEntity, out.err, nil)
 		}
-		s.fail(w, http.StatusUnprocessableEntity, out.err, nil)
 		return
 	}
 
@@ -374,14 +595,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Answer[i] = row
 		}
 	}
+	if req.Trace {
+		traceMu.Lock()
+		resp.Trace = traceEvents
+		resp.TraceTruncated = traceTruncated
+		traceMu.Unlock()
+	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // fail writes an error response and counts it.
-func (s *Server) fail(w http.ResponseWriter, code int, err error, partial *StatsJSON) {
+func (s *Server) fail(w http.ResponseWriter, code int, err error, partial *StatsJSON, reqID string) {
 	s.errorsN.Add(1)
-	writeJSON(w, code, ErrorResponse{Error: err.Error(), Stats: partial})
+	writeJSON(w, code, ErrorResponse{Error: err.Error(), RequestID: reqID, Stats: partial})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -393,12 +620,20 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 // StatsResponse is the /stats body.
+//
+// Counter semantics, pinned (see OPERATIONS.md and the regression tests):
+// Errors counts every non-200 response, so it includes the 504s counted in
+// Timeouts and the 429s counted in Shed — those are subsets, not disjoint
+// buckets. errors − timeouts − shed approximates client-side mistakes.
 type StatsResponse struct {
 	UptimeSeconds float64            `json:"uptime_seconds"`
 	Databases     map[string]DBStats `json:"databases"`
 	Queries       int64              `json:"queries"`
 	Errors        int64              `json:"errors"`
 	Timeouts      int64              `json:"timeouts"`
+	Shed          int64              `json:"shed"`
+	Panics        int64              `json:"panics"`
+	SlowQueries   int64              `json:"slow_queries"`
 	Coalesced     int64              `json:"coalesced"`
 	InFlight      InFlightStats      `json:"in_flight"`
 	PlanCache     CacheStats         `json:"plan_cache"`
@@ -417,9 +652,11 @@ type DBStats struct {
 type InFlightStats struct {
 	// Requests counts /query requests currently being handled; Evals
 	// counts evaluations actually running. Requests > Evals means
-	// single-flight dedup is coalescing a thundering herd.
+	// single-flight dedup is coalescing a thundering herd, or the
+	// admission controller is queueing — Queued tells them apart.
 	Requests int64 `json:"requests"`
 	Evals    int64 `json:"evals"`
+	Queued   int64 `json:"queued"`
 }
 
 // CacheStats reports one cache's occupancy and cumulative counters.
@@ -457,10 +694,14 @@ func (s *Server) Stats() StatsResponse {
 		Queries:       s.queries.Load(),
 		Errors:        s.errorsN.Load(),
 		Timeouts:      s.timeouts.Load(),
+		Shed:          s.metrics.shed.Value(),
+		Panics:        s.metrics.panics.Value(),
+		SlowQueries:   s.metrics.slow.Value(),
 		Coalesced:     s.coalesced.Load(),
 		InFlight: InFlightStats{
 			Requests: s.requestsInFlight.Load(),
 			Evals:    s.evalsInFlight.Load(),
+			Queued:   s.limiter.queueDepth(),
 		},
 		PlanCache:   CacheStats{Size: s.plans.Len(), Hits: ph, Misses: pm, Evictions: pe},
 		ResultCache: CacheStats{Size: s.results.Len(), Hits: rh, Misses: rm, Evictions: re},
