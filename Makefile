@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet docs race bench bench-json bench-smoke sweep examples cover clean check serve
+.PHONY: all build test vet docs race bench bench-json bench-sparse bench-smoke sweep examples cover clean check serve
 
 all: vet test build
 
@@ -16,6 +16,7 @@ check: docs
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/ ./internal/metrics/
 	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled' ./internal/eval/
+	$(GO) test -count=1 -run 'TestSparseLargeDomainTC' ./internal/eval/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/eval/ ./internal/relation/ ./internal/bitset/
 
 build:
@@ -55,6 +56,13 @@ bench:
 bench-json:
 	$(GO) run ./cmd/bvqbench -json
 
+# bench-sparse is the sparse-backend smoke slice of bench-json: the quick
+# sweeps include the n^k-wall scenarios (sparse-tc, sparse-2hop up to
+# n=1000); the full n=10,000 run with its 1 GiB peak-memory assertion lives
+# in `make check` as TestSparseLargeDomainTC.
+bench-sparse:
+	$(GO) run ./cmd/bvqbench -json -quick | grep '"bench":"sparse-'
+
 # bench-smoke runs every benchmark exactly once — a compile-and-run
 # existence check, not a measurement.
 bench-smoke:
@@ -82,6 +90,7 @@ examples:
 	$(GO) run ./examples/modelcheck
 	$(GO) run ./examples/qbfhardness
 	$(GO) run ./examples/expression
+	$(GO) run ./examples/largegraph
 	$(GO) run ./examples/server
 
 cover:

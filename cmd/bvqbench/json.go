@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/database"
@@ -19,15 +21,22 @@ import (
 // JSON object per line (JSON Lines), so downstream tooling can stream-filter
 // with jq without loading the whole run.
 type Record struct {
-	Bench   string     `json:"bench"`  // workload id: tc-lfp, reach-lfp, mu-fp2, pfp-grow
-	Engine  string     `json:"engine"` // bottomup, compiled, monotone
-	Query   string     `json:"query"`  // concrete query text
-	DB      string     `json:"db"`     // database family
-	N       int        `json:"n"`      // domain size
-	Reps    int        `json:"reps"`   // timed repetitions averaged over
-	NsPerOp float64    `json:"ns_per_op"`
-	Answer  int        `json:"answer_tuples"`
-	Stats   *statsJSON `json:"stats,omitempty"`
+	Bench   string  `json:"bench"`             // workload id: tc-lfp, reach-lfp, mu-fp2, pfp-grow, sparse-*
+	Engine  string  `json:"engine"`            // bottomup, compiled, monotone
+	Backend string  `json:"backend,omitempty"` // compiled-engine relation backend (dense, sparse, auto)
+	Query   string  `json:"query"`             // concrete query text
+	DB      string  `json:"db"`                // database family
+	N       int     `json:"n"`                 // domain size
+	Reps    int     `json:"reps"`              // timed repetitions averaged over
+	NsPerOp float64 `json:"ns_per_op"`
+	Answer  int     `json:"answer_tuples"`
+	// PeakHeapBytes is the HeapAlloc high-water mark observed while one
+	// untimed evaluation ran (sampled at 1ms, after a GC baseline), and
+	// AllocBytes the TotalAlloc delta of that run — the memory story behind
+	// the n^k wall, measured rather than asserted.
+	PeakHeapBytes uint64     `json:"peak_heap_bytes"`
+	AllocBytes    uint64     `json:"alloc_bytes"`
+	Stats         *statsJSON `json:"stats,omitempty"`
 }
 
 // statsJSON mirrors eval.Stats with snake_case keys. nodes_reused and
@@ -41,6 +50,26 @@ type statsJSON struct {
 	MaxIntermediateTuples int64 `json:"max_intermediate_tuples"`
 	NodesReused           int64 `json:"nodes_reused"`
 	DeltaTuples           int64 `json:"delta_tuples"`
+	TuplesTouched         int64 `json:"tuples_touched"`
+	RepSwitches           int64 `json:"rep_switches"`
+	AcyclicFastPath       int64 `json:"acyclic_fast_path"`
+}
+
+func toStatsJSON(st *eval.Stats) *statsJSON {
+	if st == nil {
+		return nil
+	}
+	return &statsJSON{
+		SubformulaEvals:       st.SubformulaEvals,
+		FixIterations:         st.FixIterations,
+		MaxIntermediateArity:  st.MaxIntermediateArity,
+		MaxIntermediateTuples: st.MaxIntermediateTuples,
+		NodesReused:           st.NodesReused,
+		DeltaTuples:           st.DeltaTuples,
+		TuplesTouched:         st.TuplesTouched,
+		RepSwitches:           st.RepSwitches,
+		AcyclicFastPath:       st.AcyclicFastPath,
+	}
 }
 
 // runJSON executes the engine-comparison workloads and prints one Record per
@@ -61,6 +90,7 @@ func jsonRecords(quick bool) []Record {
 	recs = append(recs, benchReachLFP(quick)...)
 	recs = append(recs, benchMuFP2(quick)...)
 	recs = append(recs, benchPFPGrow(quick)...)
+	recs = append(recs, benchSparse(quick)...)
 	return recs
 }
 
@@ -79,6 +109,49 @@ func measure(fn func()) (float64, int) {
 		}
 	}
 	return float64(time.Since(start).Nanoseconds()) / float64(reps), reps
+}
+
+// measureMem runs fn once, untimed, and returns its HeapAlloc high-water
+// mark (sampled at 1ms over a GC'd baseline) and TotalAlloc delta. The
+// sampler goroutine never runs during the timed reps, so memory and latency
+// measurements do not perturb each other.
+func measureMem(fn func()) (peak, alloc uint64) {
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	peak = before.HeapAlloc
+	done := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > atomic.LoadUint64(&peak) {
+					atomic.StoreUint64(&peak, ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	fn()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > atomic.LoadUint64(&peak) {
+		atomic.StoreUint64(&peak, after.HeapAlloc)
+	}
+	close(done)
+	<-sampled
+	p := atomic.LoadUint64(&peak)
+	if p > before.HeapAlloc {
+		p -= before.HeapAlloc
+	} else {
+		p = 0
+	}
+	return p, after.TotalAlloc - before.TotalAlloc
 }
 
 // engineRecords runs q on db under each engine, checks that all answers
@@ -101,17 +174,11 @@ func engineRecords(bench, dbName string, n int, q logic.Query, db *database.Data
 			die(fmt.Errorf("%s n=%d: engine %s disagrees (%d tuples, want %d)", bench, n, name, tuples, baseline))
 		}
 		rec := Record{Bench: bench, Engine: name, Query: q.String(), DB: dbName, N: n,
-			Reps: reps, NsPerOp: nsPerOp, Answer: tuples}
-		if st != nil {
-			rec.Stats = &statsJSON{
-				SubformulaEvals:       st.SubformulaEvals,
-				FixIterations:         st.FixIterations,
-				MaxIntermediateArity:  st.MaxIntermediateArity,
-				MaxIntermediateTuples: st.MaxIntermediateTuples,
-				NodesReused:           st.NodesReused,
-				DeltaTuples:           st.DeltaTuples,
-			}
-		}
+			Reps: reps, NsPerOp: nsPerOp, Answer: tuples, Stats: toStatsJSON(st)}
+		rec.PeakHeapBytes, rec.AllocBytes = measureMem(func() {
+			_, _, err := evalByName(name, q, db)
+			die(err)
+		})
 		recs = append(recs, rec)
 	}
 	return recs
@@ -203,6 +270,72 @@ func benchMuFP2(quick bool) []Record {
 		// the comparison is bottomup vs compiled dirty-node re-evaluation.
 		recs = append(recs, engineRecords("mu-fp2", "kripke", n, q, db,
 			[]string{"bottomup", "compiled"})...)
+	}
+	return recs
+}
+
+// backendRecords runs q on db through the compiled engine under each listed
+// backend, cross-checks answers between the backends that ran, and returns
+// one Record per backend with timing, memory and sparse-work statistics.
+func backendRecords(bench, dbName string, n int, q logic.Query, db *database.Database, backends []eval.Backend) []Record {
+	var recs []Record
+	baseline := -1
+	for _, b := range backends {
+		opts := &eval.Options{Backend: b}
+		var tuples int
+		var st *eval.Stats
+		nsPerOp, reps := measure(func() {
+			a, s, err := eval.CompiledStats(q, db, opts)
+			die(err)
+			tuples = a.Len()
+			st = s
+		})
+		if baseline < 0 {
+			baseline = tuples
+		} else if tuples != baseline {
+			die(fmt.Errorf("%s n=%d: backend %s disagrees (%d tuples, want %d)", bench, n, b, tuples, baseline))
+		}
+		rec := Record{Bench: bench, Engine: "compiled", Backend: b.String(), Query: q.String(),
+			DB: dbName, N: n, Reps: reps, NsPerOp: nsPerOp, Answer: tuples, Stats: toStatsJSON(st)}
+		rec.PeakHeapBytes, rec.AllocBytes = measureMem(func() {
+			_, _, err := eval.CompiledStats(q, db, opts)
+			die(err)
+		})
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+// twoHopQuery is the acyclic path CQ (x, y) ← ∃z. E(x,z) ∧ E(z,y): the
+// Yannakakis fast-path workload.
+func twoHopQuery() logic.Query {
+	return logic.MustQuery([]logic.Var{"x", "y"},
+		logic.Exists(logic.And(logic.R("E", "x", "z"), logic.R("E", "z", "y")), "z"))
+}
+
+// benchSparse is the n^k-wall sweep: the k=3 transitive-closure fixpoint and
+// the acyclic two-hop join over forests whose closures stay small however
+// large the domain grows. Dense runs only where its n³-bit space is modest
+// (n ≤ 256); the sparse backend continues to n = 10,000 — 10¹² dense bits,
+// two orders of magnitude past relation.MaxDenseBits — where the dense
+// column is structurally absent rather than merely slow.
+func benchSparse(quick bool) []Record {
+	sizes := []int{64, 256, 2000, 10000}
+	if quick {
+		sizes = []int{64, 256, 1000}
+	}
+	const denseMax = 256
+	tc := tcQuery()
+	hop := twoHopQuery()
+	var recs []Record
+	for _, n := range sizes {
+		db := workload.ForestGraph(n, 8)
+		backends := []eval.Backend{eval.BackendSparse}
+		if n <= denseMax {
+			backends = []eval.Backend{eval.BackendDense, eval.BackendSparse}
+		}
+		recs = append(recs, backendRecords("sparse-tc", "forest", n, tc, db, backends)...)
+		recs = append(recs, backendRecords("sparse-2hop", "forest", n, hop, db, backends)...)
 	}
 	return recs
 }

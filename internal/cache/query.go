@@ -94,12 +94,18 @@ func (c *ResultCache) Counters() (hits, misses, evictions int64) { return c.lru.
 // change an answer: the database content (fingerprint), the engine, the
 // answer-affecting options, and the query text. Options.Parallelism is
 // deliberately excluded — the parallel PFP sweep's merge is deterministic,
-// so requests differing only in worker count share one cache line.
+// so requests differing only in worker count share one cache line. The
+// relation backend IS included even though backends agree on answers: the
+// cached Stats describe one run's representation choices, and serving a
+// dense run's statistics to a backend=sparse request would misreport.
 func ResultKey(fingerprint uint64, engine string, opts *eval.Options, queryText string) string {
-	var maxWidth, budget int
+	var maxWidth, budget, sparseBudget int
 	var cycle eval.CycleMode
+	var backend eval.Backend
 	if opts != nil {
 		maxWidth, budget, cycle = opts.MaxWidth, opts.PFPBudget, opts.PFPCycle
+		backend, sparseBudget = opts.Backend, opts.SparseBudget
 	}
-	return fmt.Sprintf("%016x|%s|%d|%d|%d|%s", fingerprint, engine, maxWidth, budget, cycle, queryText)
+	return fmt.Sprintf("%016x|%s|%d|%d|%d|%s|%d|%s",
+		fingerprint, engine, maxWidth, budget, cycle, backend, sparseBudget, queryText)
 }

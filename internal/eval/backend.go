@@ -1,0 +1,202 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/plan"
+	"repro/internal/queryopt"
+	"repro/internal/relation"
+)
+
+// Backend selects the relation representation the compiled engine evaluates
+// over. The zero value is BackendAuto, so existing callers (and cached
+// plans) keep their behavior without touching Options.
+type Backend int
+
+const (
+	// BackendAuto picks per query: dense kernels for feasible hot spaces,
+	// the sparse executor when the space is infeasible or the density
+	// analysis says tuples are far cheaper than bits, and a hybrid in
+	// between (dense fixpoints over a sparsely evaluated frontier).
+	BackendAuto Backend = iota
+	// BackendDense forces the full-width nᵏ-bit engine; queries whose space
+	// exceeds relation.MaxDenseBits fail with the dense-space error.
+	BackendDense
+	// BackendSparse forces the sorted tuple-block engine (with the acyclic
+	// Yannakakis fast path); queries outside the sparse-evaluable fragment
+	// (GFP/PFP, negatively represented fixpoint bodies) fail with a typed
+	// explanation.
+	BackendSparse
+)
+
+// String renders the backend in the wire spelling.
+func (b Backend) String() string {
+	switch b {
+	case BackendDense:
+		return "dense"
+	case BackendSparse:
+		return "sparse"
+	default:
+		return "auto"
+	}
+}
+
+// BackendByName parses a wire spelling; the empty string means auto.
+func BackendByName(name string) (Backend, error) {
+	switch name {
+	case "", "auto":
+		return BackendAuto, nil
+	case "dense":
+		return BackendDense, nil
+	case "sparse":
+		return BackendSparse, nil
+	default:
+		return BackendAuto, fmt.Errorf("eval: unknown backend %q (want auto, dense or sparse)", name)
+	}
+}
+
+// ErrSparseBudget is wrapped by errors reporting that a sparse evaluation
+// would materialize more tuples than Options.SparseBudget allows — the
+// sparse analogue of the dense MaxDenseBits guard. Under BackendAuto with a
+// feasible dense space the engine falls back to dense instead of failing.
+var ErrSparseBudget = errors.New("sparse materialization budget exceeded")
+
+// DefaultSparseBudget bounds the tuple count of any single sparse
+// materialization when Options.SparseBudget is zero: 2²⁵ codes ≈ 256 MiB.
+const DefaultSparseBudget = 1 << 25
+
+func sparseBudget(opts *Options) int {
+	if opts != nil && opts.SparseBudget > 0 {
+		return opts.SparseBudget
+	}
+	return DefaultSparseBudget
+}
+
+func backendOf(opts *Options) Backend {
+	if opts == nil {
+		return BackendAuto
+	}
+	return opts.Backend
+}
+
+// cardOf adapts a database to the plan.Density cardinality callback.
+func cardOf(db *database.Database) func(string) int {
+	return func(name string) int {
+		rel, err := db.Rel(name)
+		if err != nil {
+			return 0
+		}
+		return rel.Len()
+	}
+}
+
+// EvalPlanContext evaluates a compiled plan against db. The plan is
+// immutable and may be shared across evaluations and databases; all run
+// state lives in the evaluation, so concurrent calls with the same plan are
+// safe.
+//
+// The backend route is chosen here. Dense is the historical engine and the
+// default for every feasible small space; sparse (with the acyclic-join
+// fast path) is how queries beyond relation.MaxDenseBits — the n^k wall —
+// evaluate at all. BackendAuto also runs a hybrid: a feasible-but-large
+// dense evaluation whose recursion-free low-density subtrees are computed
+// sparsely and cylindrified once at their boundary (Stats.RepSwitches).
+func EvalPlanContext(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
+	if err := p.Query.Validate(signatureOf(db)); err != nil {
+		return nil, nil, err
+	}
+	if err := checkDomain(db); err != nil {
+		return nil, nil, err
+	}
+	if err := checkWidth(p.Query, opts); err != nil {
+		return nil, nil, err
+	}
+	if err := checkCtx(ctx); err != nil {
+		return nil, nil, err
+	}
+	den := p.Density(db.Size(), cardOf(db))
+	switch backendOf(opts) {
+	case BackendDense:
+		return evalPlanDense(ctx, p, db, opts, nil)
+	case BackendSparse:
+		if !den.SparseOK {
+			return nil, nil, fmt.Errorf("eval: sparse backend: %s", den.Blocker)
+		}
+		return evalPlanSparse(ctx, p, db, opts, den)
+	default:
+		if !den.SpaceFeasible {
+			if !den.SparseOK {
+				return nil, nil, fmt.Errorf("eval: dense space %d^%d exceeds %d bits and sparse evaluation is unavailable: %s",
+					db.Size(), len(p.Vars), relation.MaxDenseBits, den.Blocker)
+			}
+			return evalPlanSparse(ctx, p, db, opts, den)
+		}
+		if den.PreferSparse() {
+			ans, st, err := evalPlanSparse(ctx, p, db, opts, den)
+			if err != nil && errors.Is(err, ErrSparseBudget) {
+				// The density estimate was wrong — the space is feasible, so
+				// rerun dense rather than failing a query dense could answer.
+				return evalPlanDense(ctx, p, db, opts, hybridDensity(den))
+			}
+			return ans, st, err
+		}
+		return evalPlanDense(ctx, p, db, opts, hybridDensity(den))
+	}
+}
+
+// hybridDensity returns den when it labels a sparse frontier for the dense
+// executor, nil otherwise (pure dense run, zero overhead).
+func hybridDensity(den *plan.Density) *plan.Density {
+	if den.HasSparseFrontier() {
+		return den
+	}
+	return nil
+}
+
+// evalPlanSparse evaluates the whole plan sparsely: first the Yannakakis
+// fast path for acyclic conjunctive queries (no k-dimensional intermediate
+// at all), then the general sval executor.
+func evalPlanSparse(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density) (*relation.Set, *Stats, error) {
+	stats := &Stats{}
+	if ans, ok, err := tryAcyclicFast(ctx, p, db, stats); ok {
+		return ans, stats, err
+	}
+	r := newSpRun(ctx, p, db, opts, den, stats)
+	sv, err := r.evalNode(p.Root)
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := r.materialize(sv, p.HeadAxes)
+	if err != nil {
+		return nil, stats, err
+	}
+	return out.ToSet(), stats, nil
+}
+
+// tryAcyclicFast recognizes the plan's query as an acyclic conjunctive
+// query and evaluates it by the Yannakakis semijoin pipeline, whose
+// intermediates never exceed the join-tree node arities — the §1 route
+// around the n^k wall for the fragment where it applies. Returns ok=false
+// (and no error) when the query is outside the fragment or cyclic, letting
+// the caller fall through to the general sparse executor.
+func tryAcyclicFast(ctx context.Context, p *plan.Plan, db *database.Database, stats *Stats) (*relation.Set, bool, error) {
+	cq, ok := queryopt.FromQuery(p.Query)
+	if !ok {
+		return nil, false, nil
+	}
+	ans, qst, err := queryopt.EvalYannakakisContext(ctx, cq, db)
+	if err != nil {
+		if errors.Is(err, queryopt.ErrCyclic) {
+			return nil, false, nil
+		}
+		return nil, true, err
+	}
+	stats.addAcyclicFastPath(1)
+	stats.addSubformulaEvals(int64(qst.Operations))
+	stats.addTuplesTouched(int64(qst.TuplesTouched))
+	stats.observe(qst.MaxIntermediateArity, qst.MaxIntermediateTuples)
+	return ans, true, nil
+}

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -62,22 +63,11 @@ func CompiledContext(ctx context.Context, q logic.Query, db *database.Database, 
 	return EvalPlanContext(ctx, p, db, opts)
 }
 
-// EvalPlanContext evaluates a compiled plan against db. The plan is immutable
-// and may be shared across evaluations and databases; all run state lives in
-// the evaluation, so concurrent calls with the same plan are safe.
-func EvalPlanContext(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
-	if err := p.Query.Validate(signatureOf(db)); err != nil {
-		return nil, nil, err
-	}
-	if err := checkDomain(db); err != nil {
-		return nil, nil, err
-	}
-	if err := checkWidth(p.Query, opts); err != nil {
-		return nil, nil, err
-	}
-	if err := checkCtx(ctx); err != nil {
-		return nil, nil, err
-	}
+// evalPlanDense runs the dense full-width engine. Callers (EvalPlanContext)
+// have already validated the query; den, when non-nil, labels recursion-free
+// low-density subtrees the run evaluates sparsely and cylindrifies at their
+// boundary (the hybrid frontier).
+func evalPlanDense(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density) (*relation.Set, *Stats, error) {
 	sp, err := relation.NewSpace(len(p.Vars), db.Size())
 	if err != nil {
 		return nil, nil, err
@@ -87,6 +77,7 @@ func EvalPlanContext(ctx context.Context, p *plan.Plan, db *database.Database, o
 		p:       p,
 		db:      db,
 		sp:      sp,
+		den:     den,
 		stats:   &Stats{},
 		opts:    opts,
 		atoms:   &atomCache{},
@@ -120,6 +111,10 @@ type cpRun struct {
 	opts   *Options
 	atoms  *atomCache
 	spaces *spaceCache
+	// den, when non-nil, labels the hybrid sparse frontier (plan.Density
+	// Mode); sprun is the lazily created sparse evaluator serving it.
+	den   *plan.Density
+	sprun *spRun
 	// sem holds the extra-worker tokens for the wave scheduler; nil means
 	// fully serial (Parallelism 1, and inside PFP sweep workers).
 	sem chan struct{}
@@ -154,6 +149,7 @@ func (r *cpRun) fork() *cpRun {
 		opts:    r.opts,
 		atoms:   r.atoms,
 		spaces:  r.spaces,
+		den:     r.den,
 		sem:     nil,
 		val:     append([]*relation.Dense(nil), r.val...),
 		valid:   append([]bool(nil), r.valid...),
@@ -206,6 +202,17 @@ func (r *cpRun) invalidate(n int) {
 }
 
 func (r *cpRun) computeNode(n int) (*relation.Dense, bool, error) {
+	if r.den != nil && r.den.Mode[n] == plan.NodeSparse {
+		d, err := r.sparseFrontier(n)
+		if err == nil {
+			return d, true, nil
+		}
+		if !errors.Is(err, ErrSparseBudget) {
+			return nil, false, err
+		}
+		// The density estimate was wrong for this subtree: fall through to
+		// the dense kernels (the space is feasible — hybrid mode requires it).
+	}
 	nd := &r.p.Nodes[n]
 	switch nd.Op {
 	case plan.OpAtom:
@@ -266,6 +273,30 @@ func (r *cpRun) computeNode(n int) (*relation.Dense, bool, error) {
 	default:
 		return nil, false, fmt.Errorf("eval: unknown plan op %d", nd.Op)
 	}
+}
+
+// sparseFrontier evaluates a Mode-labeled recursion-free subtree with the
+// sparse executor and cylindrifies the result into the full-width space —
+// one representation switch at the subtree boundary instead of a dense
+// kernel per node. A negative sval is complemented densely after the switch
+// (¬cyl(R) is the correct widening of a complement block).
+func (r *cpRun) sparseFrontier(n int) (*relation.Dense, error) {
+	if r.sprun == nil {
+		r.sprun = newSpRun(r.ctx, r.p, r.db, r.opts, r.den, r.stats)
+	}
+	sv, err := r.sprun.evalNode(n)
+	if err != nil {
+		return nil, err
+	}
+	d, err := r.sp.FromSparse(sv.rel, sv.sup)
+	if err != nil {
+		return nil, err
+	}
+	if sv.neg {
+		d.Complement()
+	}
+	r.stats.addRepSwitches(1)
+	return d, nil
 }
 
 // cachedAtom returns the shared cylindrified master for a database atom (see

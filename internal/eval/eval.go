@@ -64,6 +64,17 @@ type Options struct {
 	PFPBudget int
 	// PFPCycle selects the convergence detector.
 	PFPCycle CycleMode
+	// Backend selects the relation representation for the Compiled engine:
+	// auto (the zero value), dense, or sparse. Tree-walking engines ignore
+	// it — they are inherently full-width dense. It participates in result
+	// cache keys (different backends may report different Stats).
+	Backend Backend
+	// SparseBudget caps the tuple count of any single sparse materialization
+	// (join result, widening, complement, stage). 0 means
+	// DefaultSparseBudget. Exceeding it fails with ErrSparseBudget, except
+	// under BackendAuto with a feasible dense space, where the engine falls
+	// back to dense evaluation.
+	SparseBudget int
 	// Parallelism bounds the number of worker goroutines the PFP evaluator
 	// uses for its per-parameter-assignment sweep (the n^|ȳ| independent
 	// fixpoint runs of a parametrized PFP are embarrassingly parallel).
@@ -177,6 +188,18 @@ type Stats struct {
 	// visible. Zero for other engines and for fixpoints evaluated without
 	// delta propagation (GFP, PFP, non-monotone dirty sets).
 	DeltaTuples int64
+	// TuplesTouched counts tuples written by sparse operations: the summed
+	// block sizes of sparse node evaluations, delta updates, and Yannakakis
+	// intermediates. The sparse analogue of dense word work; zero for pure
+	// dense runs.
+	TuplesTouched int64
+	// RepSwitches counts representation conversions: sparse subtree results
+	// cylindrified into the dense space at a hybrid frontier boundary.
+	RepSwitches int64
+	// AcyclicFastPath is 1 when the query was answered by the Yannakakis
+	// semijoin pipeline (acyclic conjunctive query under the sparse
+	// backend), 0 otherwise.
+	AcyclicFastPath int64
 }
 
 func (s *Stats) addSubformulaEvals(d int64) {
@@ -200,6 +223,24 @@ func (s *Stats) addNodesReused(d int64) {
 func (s *Stats) addDeltaTuples(d int64) {
 	if s != nil {
 		atomic.AddInt64(&s.DeltaTuples, d)
+	}
+}
+
+func (s *Stats) addTuplesTouched(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.TuplesTouched, d)
+	}
+}
+
+func (s *Stats) addRepSwitches(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.RepSwitches, d)
+	}
+}
+
+func (s *Stats) addAcyclicFastPath(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.AcyclicFastPath, d)
 	}
 }
 

@@ -1,0 +1,368 @@
+// Differential testing of the sparse backend: the dense engine is the
+// oracle, and every admitted query must come back byte-identical through
+// the sval executor, the Yannakakis fast path, and the hybrid frontier.
+// The large-domain tests drive the whole point of the backend — a k=3 query
+// over n=10,000, whose dense space (10¹² bits) is two orders of magnitude
+// past relation.MaxDenseBits — under an explicit peak-memory ceiling.
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/plan"
+	"repro/internal/relation"
+)
+
+// forestDB mirrors workload.ForestGraph (which this in-package test cannot
+// import without a cycle through mucalc): disjoint directed paths of `block`
+// consecutive nodes, P marking the roots. Its transitive closure is bounded
+// by n·block pairs however large n grows.
+func forestDB(n, block int) *database.Database {
+	b := database.NewBuilder().Relation("E", 2).Relation("P", 1)
+	for i := 0; i < n; i++ {
+		b.Domain(i)
+		if i%block == 0 {
+			b.Add("P", i)
+		} else {
+			b.Add("E", i-1, i)
+		}
+	}
+	return b.MustBuild()
+}
+
+// lineDB is the path 0 → 1 → … → n−1 with P = {0}.
+func lineDB(n int) *database.Database {
+	return forestDB(n, n)
+}
+
+// TestDifferentialSparseVsDense pins the forced-sparse route byte-identical
+// to the forced-dense route on random FP/IFP formulas, and the auto route
+// byte-identical to dense — including Stats — on small spaces, where the
+// density heuristic must never change established behavior.
+func TestDifferentialSparseVsDense(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	g := &diffGen{r: r}
+	trials, kept := 400, 0
+	for trial := 0; trial < trials; trial++ {
+		f := g.formula(3, nil)
+		if logic.Validate(f, nil) != nil {
+			continue
+		}
+		q, err := logic.NewQuery(logic.SortedVars(logic.FreeVars(f)), f)
+		if err != nil {
+			continue
+		}
+		db := randomGraph(t, r, 2+r.Intn(4))
+		dense, dst, err := CompiledStats(q, db, &Options{Backend: BackendDense, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("dense(%s): %v", q, err)
+		}
+
+		sparse, _, err := CompiledStats(q, db, &Options{Backend: BackendSparse, Parallelism: 1})
+		if err != nil {
+			if strings.Contains(err.Error(), "sparse backend:") {
+				continue // outside the sparse fragment (GFP/PFP, negative fix body)
+			}
+			t.Fatalf("sparse(%s): %v", q, err)
+		}
+		kept++
+		if !sparse.Equal(dense) {
+			t.Fatalf("sparse disagrees on %s:\nsparse %v\ndense  %v\n%s", q, sparse, dense, db)
+		}
+
+		auto, ast, err := CompiledStats(q, db, &Options{Parallelism: 1})
+		if err != nil {
+			t.Fatalf("auto(%s): %v", q, err)
+		}
+		if !auto.Equal(dense) {
+			t.Fatalf("auto disagrees with dense on %s", q)
+		}
+		if *ast != *dst {
+			t.Fatalf("auto stats diverged from dense on a small space: %s\nauto  %+v\ndense %+v", q, ast, dst)
+		}
+	}
+	if kept < trials/8 {
+		t.Fatalf("generator kept only %d/%d formulas in the sparse fragment; tighten it", kept, trials)
+	}
+}
+
+// TestAcyclicFastPathDifferential runs random tree-shaped (hence acyclic)
+// conjunctive queries through the sparse backend, which must route them via
+// Yannakakis and agree with the dense engine exactly.
+func TestAcyclicFastPathDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 80; trial++ {
+		m := 2 + r.Intn(4)
+		vars := make([]logic.Var, m+1)
+		for i := range vars {
+			vars[i] = logic.Var(fmt.Sprintf("a%d", i))
+		}
+		var conj []logic.Formula
+		for i := 1; i <= m; i++ {
+			conj = append(conj, logic.R("E", vars[r.Intn(i)], vars[i]))
+		}
+		if r.Intn(2) == 0 {
+			conj = append(conj, logic.R("P", vars[r.Intn(m+1)]))
+		}
+		var head, bound []logic.Var
+		for _, v := range vars {
+			if r.Intn(3) == 0 {
+				head = append(head, v)
+			} else {
+				bound = append(bound, v)
+			}
+		}
+		if len(head) == 0 {
+			head, bound = []logic.Var{vars[0]}, bound[1:]
+		}
+		q := logic.MustQuery(head, logic.Exists(logic.And(conj...), bound...))
+		db := randomGraph(t, r, 3+r.Intn(5))
+
+		dense, _, err := CompiledStats(q, db, &Options{Backend: BackendDense, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("dense(%s): %v", q, err)
+		}
+		sparse, sst, err := CompiledStats(q, db, &Options{Backend: BackendSparse, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("sparse(%s): %v", q, err)
+		}
+		if sst.AcyclicFastPath != 1 {
+			t.Fatalf("%s: acyclic CQ not routed through Yannakakis (stats %+v)", q, sst)
+		}
+		if !sparse.Equal(dense) {
+			t.Fatalf("fast path disagrees on %s:\nsparse %v\ndense  %v\n%s", q, sparse, dense, db)
+		}
+	}
+}
+
+// TestFromQueryEqualities pins the equality-unification corners of the CQ
+// recognizer: a bound=head equality is compiled away onto the fast path; a
+// head=head equality is rejected and the query still answers correctly
+// through the general sparse executor.
+func TestFromQueryEqualities(t *testing.T) {
+	db := lineDB(6)
+	unified := logic.MustQuery([]logic.Var{"x", "y"},
+		logic.Exists(logic.And(logic.R("E", "x", "z"), logic.Equal("z", "y")), "z"))
+	rejected := logic.MustQuery([]logic.Var{"x", "y"},
+		logic.And(logic.Equal("x", "y"), logic.R("E", "x", "x")))
+	for _, tc := range []struct {
+		q    logic.Query
+		fast int64
+	}{{unified, 1}, {rejected, 0}} {
+		dense, _, err := CompiledStats(tc.q, db, &Options{Backend: BackendDense})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sparse, sst, err := CompiledStats(tc.q, db, &Options{Backend: BackendSparse})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sst.AcyclicFastPath != tc.fast {
+			t.Fatalf("%s: AcyclicFastPath = %d, want %d", tc.q, sst.AcyclicFastPath, tc.fast)
+		}
+		if !sparse.Equal(dense) {
+			t.Fatalf("%s: sparse %v, dense %v", tc.q, sparse, dense)
+		}
+	}
+}
+
+// tcQuerySparse is transitive closure as a width-3 LFP — the k=3 shape that
+// hits the n^k wall on large domains.
+func tcQuerySparse() logic.Query {
+	return logic.MustQuery([]logic.Var{"x", "y"},
+		logic.Lfp("T", []logic.Var{"x", "y"},
+			logic.Or(logic.R("E", "x", "y"),
+				logic.Exists(logic.And(logic.R("E", "x", "z"), logic.R("T", "z", "y")), "z")),
+			"x", "y"))
+}
+
+// peakHeapDuring samples HeapAlloc while fn runs and returns fn's error and
+// the observed high-water mark in bytes.
+func peakHeapDuring(fn func() error) (uint64, error) {
+	var peak uint64
+	done := make(chan struct{})
+	tick := make(chan struct{})
+	go func() {
+		defer close(tick)
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(2 * time.Millisecond):
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > atomic.LoadUint64(&peak) {
+					atomic.StoreUint64(&peak, ms.HeapAlloc)
+				}
+			}
+		}
+	}()
+	err := fn()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > atomic.LoadUint64(&peak) {
+		atomic.StoreUint64(&peak, ms.HeapAlloc)
+	}
+	close(done)
+	<-tick
+	return atomic.LoadUint64(&peak), err
+}
+
+// TestSparseLargeDomainTC is the acceptance criterion of the sparse
+// backend: transitive closure (k=3) over a 10,000-node forest, a query the
+// dense engine cannot even allocate (10¹² bits), evaluated sparsely with
+// the correct answer and under 1 GiB of peak heap.
+func TestSparseLargeDomainTC(t *testing.T) {
+	const n, block = 10000, 8
+	db := forestDB(n, block)
+	q := tcQuerySparse()
+
+	if _, _, err := CompiledStats(q, db, &Options{Backend: BackendDense}); err == nil {
+		t.Fatalf("dense backend must reject a 10000^3 space")
+	}
+
+	var got *relation.Set
+	peak, err := peakHeapDuring(func() error {
+		set, st, err := CompiledStats(q, db, nil) // auto: space infeasible → sparse
+		if err != nil {
+			return err
+		}
+		if st.TuplesTouched == 0 {
+			return fmt.Errorf("sparse run reported zero TuplesTouched")
+		}
+		got = set
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 1<<30 {
+		t.Fatalf("peak heap %d bytes exceeds the 1 GiB budget", peak)
+	}
+
+	// The forest closure is exactly the within-block ascending pairs.
+	want := 0
+	for start := 0; start < n; start += block {
+		end := start + block
+		if end > n {
+			end = n
+		}
+		sz := end - start
+		want += sz * (sz - 1) / 2
+	}
+	if got.Len() != want {
+		t.Fatalf("closure has %d pairs, want %d", got.Len(), want)
+	}
+	probe := func(a, b int, member bool) {
+		if got.Contains(relation.Tuple{a, b}) != member {
+			t.Fatalf("closure membership (%d,%d) = %v, want %v", a, b, !member, member)
+		}
+	}
+	probe(0, 7, true)
+	probe(8, 15, true)
+	probe(7, 8, false)
+	probe(0, 9999, false)
+}
+
+// TestHybridFrontierMatchesDense drives the auto backend on a feasible but
+// large space (200³ bits > hybridMinBits) with a sparse edge set: the run
+// must label a sparse frontier, convert at its boundary (RepSwitches), and
+// agree with pure dense exactly.
+func TestHybridFrontierMatchesDense(t *testing.T) {
+	db := forestDB(200, 10)
+	q := tcQuerySparse()
+	p, err := plan.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := p.Density(db.Size(), cardOf(db))
+	if !den.SpaceFeasible || !den.HasSparseFrontier() {
+		t.Fatalf("200^3 with a sparse edge set should be hybrid territory: %+v", den)
+	}
+
+	dense, _, err := CompiledStats(q, db, &Options{Backend: BackendDense, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, ast, err := CompiledStats(q, db, &Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auto.Equal(dense) {
+		t.Fatalf("hybrid run disagrees with dense: %d vs %d tuples", auto.Len(), dense.Len())
+	}
+	if ast.RepSwitches == 0 {
+		t.Fatalf("hybrid run performed no representation switches (stats %+v)", ast)
+	}
+}
+
+// TestSparseCancellation checks the stage-boundary cancellation contract of
+// the sparse fixpoint loop: cancelling mid-iteration surfaces
+// context.Canceled and leaves no binding behind (reusing the plan
+// afterwards must work). Run under -race this also saturates the
+// cancel/cleanup paths the Release-discipline audit cares about.
+func TestSparseCancellation(t *testing.T) {
+	db := forestDB(5000, 50)
+	q := tcQuerySparse()
+	p, err := plan.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 4; trial++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		stages := 0
+		opts := &Options{Backend: BackendSparse, Tracer: func(TraceEvent) {
+			stages++
+			if stages == 2 {
+				cancel()
+			}
+		}}
+		_, _, err := EvalPlanContext(ctx, p, db, opts)
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("trial %d: err = %v, want context.Canceled", trial, err)
+		}
+		// The plan must be cleanly reusable after a cancelled run.
+		ans, _, err := EvalPlanContext(context.Background(), p, db, &Options{Backend: BackendSparse})
+		if err != nil {
+			t.Fatalf("trial %d: rerun after cancel: %v", trial, err)
+		}
+		if ans.Len() == 0 {
+			t.Fatalf("trial %d: rerun returned empty closure", trial)
+		}
+	}
+}
+
+// TestSparseBudgetFallsBackToDense forces a tiny budget on a feasible space:
+// the explicit sparse backend must fail with ErrSparseBudget, while auto
+// silently reruns dense and still answers.
+func TestSparseBudgetFallsBackToDense(t *testing.T) {
+	db := randomGraph(t, rand.New(rand.NewSource(5)), 6)
+	// ¬E forces a complement whose block exceeds a budget of 2 tuples.
+	q := logic.MustQuery([]logic.Var{"x", "y"}, logic.Neg(logic.R("E", "x", "y")))
+	_, _, err := CompiledStats(q, db, &Options{Backend: BackendSparse, SparseBudget: 2})
+	if !errors.Is(err, ErrSparseBudget) {
+		t.Fatalf("err = %v, want ErrSparseBudget", err)
+	}
+	dense, _, err := CompiledStats(q, db, &Options{Backend: BackendDense})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, _, err := CompiledStats(q, db, &Options{SparseBudget: 2})
+	if err != nil {
+		t.Fatalf("auto with tiny budget must fall back to dense: %v", err)
+	}
+	if !auto.Equal(dense) {
+		t.Fatalf("auto fallback disagrees with dense")
+	}
+}

@@ -1,0 +1,343 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// NodeBackend is the representation a plan node's value is materialized in.
+type NodeBackend int8
+
+const (
+	// NodeDense is the full-width nᵏ-bit bitmap with word-parallel kernels.
+	NodeDense NodeBackend = iota
+	// NodeSparse is the sorted tuple-code block over the node's support axes.
+	NodeSparse
+)
+
+// Density heuristic thresholds. The cost model is deliberately coarse: one
+// dense operation touches spaceBits/64 words no matter how few tuples are
+// set, while one sparse operation costs O(tuples · log tuples). Sparse wins
+// when the estimated tuple count is far below the word count; dense wins on
+// small hot spaces where a handful of word ops beats any pointer chasing.
+const (
+	// hybridMinBits: below this space size the dense kernels are always
+	// used — a few thousand words of bitmap ops are faster than building
+	// sparse blocks, and keeping small runs dense preserves the established
+	// behavior (and Stats) of every existing workload.
+	hybridMinBits = 1 << 22
+	// sparseWinFactor: a node is sparse-labeled when est · sparseWinFactor
+	// < spaceBits, i.e. its estimated density is below 1/sparseWinFactor
+	// bits per tuple.
+	sparseWinFactor = 256
+	// autoSparseBits: the auto backend switches a feasible-but-large run to
+	// the all-sparse executor once the space reaches this size and the
+	// root estimate clears sparseWinFactor.
+	autoSparseBits = 1 << 26
+	// fixGrowthGuess multiplies a fixpoint body's estimate to guess the
+	// converged stage size (stages grow for LFP/IFP; how much is
+	// data-dependent, so this is a soft prior, not a bound).
+	fixGrowthGuess = 16
+)
+
+// Density is the per-node representation analysis of a plan against one
+// domain size: which axes each node's value actually constrains (its
+// support), how many tuples it is expected to hold, whether it can be
+// evaluated sparsely at all, and which representation the hybrid executor
+// should pick for it. A plan is domain-independent; Density is the per-run
+// sizing pass, cheap enough (O(nodes)) to rerun on every evaluation.
+type Density struct {
+	// N is the domain size the analysis was computed for; K the plan width.
+	N, K int
+	// SpaceFeasible reports nᴷ ≤ relation.MaxDenseBits: whether the dense
+	// full-width engine can run at all.
+	SpaceFeasible bool
+	// CodeFeasible reports nᴷ ≤ relation.MaxSparseCode: whether sparse
+	// tuple codes exist for full-width supports.
+	CodeFeasible bool
+	// SpaceBits is nᴷ as a float (exact for feasible shapes, an estimate
+	// beyond).
+	SpaceBits float64
+
+	// Support[n] is the axis bitmask outside of which node n's value is
+	// cylindric: the axes a sparse materialization must store.
+	Support []uint64
+	// Neg[n] reports that the sparse evaluator represents node n negatively
+	// (as the complement block over its support) — the polarity is static.
+	Neg []bool
+	// Est[n] is the estimated stored-block size (tuples) of node n's sparse
+	// value.
+	Est []float64
+	// Mode[n] is the representation the hybrid dense executor uses for node
+	// n: NodeSparse only for recursion-free subtrees whose estimated density
+	// clears the win threshold (conversion happens at the subtree root).
+	Mode []NodeBackend
+
+	// SparseOK reports that every node is sparse-evaluable, so the
+	// all-sparse executor can run the whole plan; Blocker names the first
+	// obstruction otherwise. RootEst is Est[root].
+	SparseOK bool
+	Blocker  string
+	RootEst  float64
+
+	// DeltaSparse[b] reports that binder b's semi-naive delta regime is
+	// admissible under sparse evaluation: DeltaOK and every dirty node and
+	// dirty-node operand is positively represented.
+	DeltaSparse []bool
+}
+
+// Density computes the representation analysis of p over a domain of n
+// elements. card reports a database relation's tuple count (it may return 0
+// for unknown relations; estimates degrade gracefully).
+func (p *Plan) Density(n int, card func(rel string) int) *Density {
+	k := len(p.Vars)
+	d := &Density{
+		N:       n,
+		K:       k,
+		Support: make([]uint64, len(p.Nodes)),
+		Neg:     make([]bool, len(p.Nodes)),
+		Est:     make([]float64, len(p.Nodes)),
+		Mode:    make([]NodeBackend, len(p.Nodes)),
+	}
+	d.SpaceBits = math.Pow(float64(n), float64(k))
+	d.SpaceFeasible = feasiblePow(n, k, relation.MaxDenseBits)
+	d.CodeFeasible = feasiblePow(n, k, int(relation.MaxSparseCode>>1))
+	d.SparseOK = true
+	if !d.CodeFeasible {
+		d.SparseOK = false
+		d.Blocker = fmt.Sprintf("code space %d^%d exceeds sparse code limit", n, k)
+	}
+
+	capable := make([]bool, len(p.Nodes))
+	nf := float64(n)
+	pow := func(axes int) float64 { return math.Pow(nf, float64(axes)) }
+	block := func(reason string) {
+		if d.SparseOK {
+			d.SparseOK = false
+			d.Blocker = reason
+		}
+	}
+
+	// Node ids ascend topologically, so one forward pass sees children first.
+	for id := range p.Nodes {
+		nd := &p.Nodes[id]
+		switch nd.Op {
+		case OpAtom:
+			axes := nd.Args
+			if nd.Binder >= 0 {
+				axes = p.AtomAxes(id)
+			}
+			var sup uint64
+			distinct := 0
+			for _, a := range axes {
+				if sup&(1<<uint(a)) == 0 {
+					distinct++
+				}
+				sup |= 1 << uint(a)
+			}
+			d.Support[id] = sup
+			if nd.Binder >= 0 {
+				// The stage estimate is not known bottom-up (the binder's
+				// fix node comes later); assume stage density ~1/n of its
+				// support space — the TC-shaped prior.
+				d.Est[id] = pow(distinct) / math.Max(nf, 1)
+			} else {
+				c := float64(card(nd.Rel))
+				// Repeated argument axes select a diagonal: scale down by n
+				// per merged position.
+				for i := 0; i < len(axes)-distinct; i++ {
+					c /= math.Max(nf, 1)
+				}
+				d.Est[id] = c
+			}
+			capable[id] = true
+		case OpEq:
+			if nd.L == nd.R {
+				d.Support[id] = 0
+				d.Est[id] = 1
+			} else {
+				d.Support[id] = 1<<uint(nd.L) | 1<<uint(nd.R)
+				d.Est[id] = nf
+			}
+			capable[id] = true
+		case OpConst:
+			d.Support[id] = 0
+			if nd.Truth {
+				d.Est[id] = 1
+			}
+			capable[id] = true
+		case OpNot:
+			kid := nd.Kids[0]
+			d.Support[id] = d.Support[kid]
+			d.Neg[id] = !d.Neg[kid]
+			// The stored block is the child's block with the polarity flag
+			// flipped: same size.
+			d.Est[id] = d.Est[kid]
+			capable[id] = capable[kid]
+		case OpAnd, OpOr:
+			l, r := nd.Kids[0], nd.Kids[1]
+			sup := d.Support[l] | d.Support[r]
+			d.Support[id] = sup
+			u := bits.OnesCount64(sup)
+			wl := d.Est[l] * pow(u-bits.OnesCount64(d.Support[l]))
+			wr := d.Est[r] * pow(u-bits.OnesCount64(d.Support[r]))
+			negL, negR := d.Neg[l], d.Neg[r]
+			if nd.Op == OpAnd {
+				switch {
+				case !negL && !negR:
+					shared := bits.OnesCount64(d.Support[l] & d.Support[r])
+					d.Est[id] = math.Min(d.Est[l]*d.Est[r]/pow(shared), pow(u))
+				case negL && negR:
+					// ¬a ∧ ¬b = ¬(a ∨ b): stored block is the widened union.
+					d.Neg[id] = true
+					d.Est[id] = math.Min(wl+wr, pow(u))
+				default:
+					// pos ∧ ¬neg: antijoin, bounded by the widened positive side.
+					if negL {
+						d.Est[id] = math.Min(wr, pow(u))
+					} else {
+						d.Est[id] = math.Min(wl, pow(u))
+					}
+				}
+			} else {
+				switch {
+				case !negL && !negR:
+					d.Est[id] = math.Min(wl+wr, pow(u))
+				case negL && negR:
+					// ¬a ∨ ¬b = ¬(a ∧ b): stored block is the intersection.
+					d.Neg[id] = true
+					d.Est[id] = math.Min(math.Min(wl, wr), pow(u))
+				default:
+					// ¬a ∨ b = ¬(a \ b): stored block bounded by the negative
+					// side's widened block.
+					d.Neg[id] = true
+					if negL {
+						d.Est[id] = math.Min(wl, pow(u))
+					} else {
+						d.Est[id] = math.Min(wr, pow(u))
+					}
+				}
+			}
+			capable[id] = capable[l] && capable[r]
+		case OpExists, OpForall:
+			kid := nd.Kids[0]
+			sup := d.Support[kid] &^ (1 << uint(nd.Axis))
+			d.Support[id] = sup
+			d.Neg[id] = d.Neg[kid]
+			// ∃ keeps at most the child's block; ∀ keeps at most one group
+			// per n child tuples. With negative polarity the roles swap
+			// (∃¬ = ¬∀, ∀¬ = ¬∃) — both are bounded by the child's block.
+			est := d.Est[kid]
+			if (nd.Op == OpForall) != d.Neg[kid] {
+				est /= math.Max(nf, 1)
+			}
+			d.Est[id] = math.Min(est, pow(bits.OnesCount64(sup)))
+			capable[id] = capable[kid]
+		case OpFix:
+			fx := nd.Fix
+			var sup uint64
+			for _, a := range fx.ArgAxes {
+				sup |= 1 << uint(a)
+			}
+			for _, a := range fx.ParamAxes {
+				sup |= 1 << uint(a)
+			}
+			d.Support[id] = sup
+			d.Est[id] = math.Min(d.Est[fx.Body]*fixGrowthGuess, pow(bits.OnesCount64(sup)))
+			ok := capable[fx.Body]
+			switch fx.Op {
+			case logic.LFP, logic.IFP:
+			default:
+				ok = false
+				block(fmt.Sprintf("%s fixpoint %s requires dense evaluation (sparse stages are bottom-up only)", fx.Op, fx.Rel))
+			}
+			if d.Neg[fx.Body] {
+				ok = false
+				block(fmt.Sprintf("fixpoint %s body is negatively represented; stage extraction would complement every stage", fx.Rel))
+			}
+			capable[id] = ok
+		}
+	}
+	if !capable[p.Root] {
+		block("plan contains a node without a sparse kernel")
+	}
+	d.RootEst = d.Est[p.Root]
+
+	// Hybrid mode labels: recursion-free subtrees whose estimated density
+	// clears the win threshold are evaluated sparsely and cylindrified once
+	// at their boundary. Dirty nodes stay dense — the fixpoint invalidation
+	// and delta machinery owns them.
+	if d.SpaceFeasible && d.SpaceBits >= hybridMinBits {
+		for id := range p.Nodes {
+			if capable[id] && p.Deps[id] == 0 &&
+				d.Est[id]*sparseWinFactor < d.SpaceBits {
+				d.Mode[id] = NodeSparse
+			}
+		}
+	}
+
+	// Sparse semi-naive admissibility per binder.
+	d.DeltaSparse = make([]bool, p.NumBinders)
+	for b := 0; b < p.NumBinders; b++ {
+		if !p.DeltaOK[b] {
+			continue
+		}
+		ok := true
+		for _, nn := range p.Dirty[b] {
+			if d.Neg[nn] {
+				ok = false
+				break
+			}
+			for _, kid := range p.Nodes[nn].Kids {
+				if d.Neg[kid] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+		}
+		d.DeltaSparse[b] = ok
+	}
+	return d
+}
+
+// PreferSparse reports that the auto backend should run the all-sparse
+// executor even though the dense space is feasible: the space is large and
+// the root's estimated density clears the win factor. Infeasible spaces
+// don't reach this — auto forces sparse for them unconditionally.
+func (d *Density) PreferSparse() bool {
+	return d.SparseOK && d.SpaceBits >= autoSparseBits &&
+		d.RootEst*sparseWinFactor < d.SpaceBits
+}
+
+// HasSparseFrontier reports whether any node is sparse-labeled for the
+// hybrid dense executor.
+func (d *Density) HasSparseFrontier() bool {
+	for _, m := range d.Mode {
+		if m == NodeSparse {
+			return true
+		}
+	}
+	return false
+}
+
+// feasiblePow reports nᵏ ≤ limit without overflowing.
+func feasiblePow(n, k, limit int) bool {
+	if n == 0 || k == 0 {
+		return true
+	}
+	size := 1
+	for i := 0; i < k; i++ {
+		if size > limit/n {
+			return false
+		}
+		size *= n
+	}
+	return true
+}

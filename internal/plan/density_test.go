@@ -1,0 +1,96 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func densityTCQuery(t *testing.T) logic.Query {
+	t.Helper()
+	return logic.MustQuery([]logic.Var{"x", "y"},
+		logic.Lfp("T", []logic.Var{"x", "y"},
+			logic.Or(logic.R("E", "x", "y"),
+				logic.Exists(logic.And(logic.R("E", "x", "z"), logic.R("T", "z", "y")), "z")),
+			"x", "y"))
+}
+
+func TestDensitySupportsAndFeasibility(t *testing.T) {
+	p, err := Compile(densityTCQuery(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cards := func(string) int { return 50 }
+
+	den := p.Density(10000, cards)
+	if den.SpaceFeasible {
+		t.Fatalf("10000^3 must not be dense-feasible")
+	}
+	if !den.SparseOK {
+		t.Fatalf("TC must be sparse-evaluable: %s", den.Blocker)
+	}
+	if len(den.DeltaSparse) != 1 || !den.DeltaSparse[0] {
+		t.Fatalf("TC binder must admit sparse semi-naive: %+v", den.DeltaSparse)
+	}
+	// Root is the fix application on axes (x, y): support must be exactly
+	// those two axes of the three-variable space.
+	axisOf := make(map[logic.Var]int)
+	for i, v := range p.Vars {
+		axisOf[v] = i
+	}
+	wantSup := uint64(1)<<uint(axisOf["x"]) | uint64(1)<<uint(axisOf["y"])
+	if den.Support[p.Root] != wantSup {
+		t.Fatalf("root support %b, want %b", den.Support[p.Root], wantSup)
+	}
+
+	small := p.Density(16, cards)
+	if !small.SpaceFeasible {
+		t.Fatalf("16^3 must be dense-feasible")
+	}
+	if small.HasSparseFrontier() || small.PreferSparse() {
+		t.Fatalf("small spaces must stay fully dense")
+	}
+}
+
+func TestDensityBlocksGFPAndNegativeBodies(t *testing.T) {
+	gfp := logic.MustQuery([]logic.Var{"x"},
+		logic.Gfp("S", []logic.Var{"x"},
+			logic.Exists(logic.And(logic.R("E", "x", "z"),
+				logic.Exists(logic.And(logic.Equal("x", "z"), logic.R("S", "x")), "x")), "z"), "x"))
+	p, err := Compile(gfp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := p.Density(100, func(string) int { return 10 })
+	if den.SparseOK {
+		t.Fatalf("GFP must block sparse evaluation")
+	}
+	if den.Blocker == "" {
+		t.Fatalf("blocker must be reported")
+	}
+}
+
+func TestDensityNegationPolarity(t *testing.T) {
+	q := logic.MustQuery([]logic.Var{"x", "y"},
+		logic.And(logic.R("E", "x", "y"), logic.Neg(logic.R("F", "x", "y"))))
+	p, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := p.Density(1000, func(string) int { return 100 })
+	if !den.SparseOK {
+		t.Fatalf("positive-∧-negative must be sparse-evaluable (antijoin): %s", den.Blocker)
+	}
+	if den.Neg[p.Root] {
+		t.Fatalf("antijoin result must be positively represented")
+	}
+	foundNeg := false
+	for id := range p.Nodes {
+		if p.Nodes[id].Op == OpNot && den.Neg[id] {
+			foundNeg = true
+		}
+	}
+	if !foundNeg {
+		t.Fatalf("negated atom must carry negative polarity")
+	}
+}

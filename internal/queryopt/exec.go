@@ -1,6 +1,7 @@
 package queryopt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/database"
@@ -71,9 +72,26 @@ func EvalNaive(q *CQ, db *database.Database) (*relation.Set, *Stats, error) {
 // exceeds that arity — acyclic joins evaluate without large intermediate
 // results, which is the paper's §1 observation.
 func EvalYannakakis(q *CQ, db *database.Database) (*relation.Set, *Stats, error) {
+	return EvalYannakakisContext(context.Background(), q, db)
+}
+
+// EvalYannakakisContext is EvalYannakakis honoring a context: cancellation
+// is checked between pipeline phases (atom materialization, each semijoin
+// pass, the bottom-up join), the same stage-boundary discipline as the eval
+// engines, so answers stay deterministic under cancellation.
+func EvalYannakakisContext(ctx context.Context, q *CQ, db *database.Database) (*relation.Set, *Stats, error) {
 	jt, err := q.BuildJoinTree()
 	if err != nil {
 		return nil, nil, err
+	}
+	checkCtx := func() error {
+		if ctx == nil {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("queryopt: cancelled: %w", err)
+		}
+		return nil
 	}
 	st := &Stats{}
 	n := len(q.Atoms)
@@ -85,6 +103,9 @@ func EvalYannakakis(q *CQ, db *database.Database) (*relation.Set, *Stats, error)
 			return nil, nil, err
 		}
 		st.observe(rels[i])
+	}
+	if err := checkCtx(); err != nil {
+		return nil, nil, err
 	}
 	shared := func(a, b int) []relation.JoinOn {
 		var on []relation.JoinOn
@@ -106,6 +127,9 @@ func EvalYannakakis(q *CQ, db *database.Database) (*relation.Set, *Stats, error)
 		rels[p] = rels[p].Semijoin(rels[e], shared(p, e))
 		st.observe(rels[p])
 	}
+	if err := checkCtx(); err != nil {
+		return nil, nil, err
+	}
 	// Downward pass: reverse order, child ⋉ parent.
 	for i := len(jt.Order) - 1; i >= 0; i-- {
 		e := jt.Order[i]
@@ -115,6 +139,9 @@ func EvalYannakakis(q *CQ, db *database.Database) (*relation.Set, *Stats, error)
 		}
 		rels[e] = rels[e].Semijoin(rels[p], shared(e, p))
 		st.observe(rels[e])
+	}
+	if err := checkCtx(); err != nil {
+		return nil, nil, err
 	}
 	// Children lists.
 	children := make([][]int, n)

@@ -1,4 +1,4 @@
-package queryopt
+package queryopt_test
 
 import (
 	"fmt"
@@ -8,6 +8,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/eval"
 	"repro/internal/logic"
+	. "repro/internal/queryopt"
 )
 
 func TestMinimizeWidthChain(t *testing.T) {

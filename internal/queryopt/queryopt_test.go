@@ -1,4 +1,4 @@
-package queryopt
+package queryopt_test
 
 import (
 	"math/rand"
@@ -7,6 +7,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/eval"
 	"repro/internal/logic"
+	. "repro/internal/queryopt"
 	"repro/internal/relation"
 )
 

@@ -1,0 +1,36 @@
+package relation
+
+// Relation is the read-only view common to the two materialized
+// representations: Dense (an nᵏ-bit bitmap, word-parallel kernels, bounded by
+// MaxDenseBits) and Sparse (a sorted block of tuple codes, memory
+// proportional to the tuple count, bounded only by MaxSparseCode). The
+// evaluators pick a representation per plan node — dense for hot small
+// spaces, sparse for large ones — and convert at the boundaries; this
+// interface is what conversion-agnostic consumers (stats, answer extraction,
+// tests) program against.
+type Relation interface {
+	// Arity returns the number of columns k.
+	Arity() int
+	// Domain returns the domain size n.
+	Domain() int
+	// Count returns the number of tuples.
+	Count() int
+	// Contains reports membership of a tuple.
+	Contains(Tuple) bool
+	// ForEach visits every tuple in ascending row-major order. The tuple
+	// may be reused across calls; clone to retain.
+	ForEach(func(Tuple))
+	// ToSet materializes the map-backed representation.
+	ToSet() *Set
+}
+
+var (
+	_ Relation = (*Dense)(nil)
+	_ Relation = (*Sparse)(nil)
+)
+
+// Arity returns the relation's arity (its space's arity).
+func (d *Dense) Arity() int { return d.sp.Arity() }
+
+// Domain returns the domain size (its space's domain).
+func (d *Dense) Domain() int { return d.sp.Domain() }

@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
 )
@@ -27,6 +28,13 @@ type Space struct {
 	// not allocate a fresh bitmap per visit. Sets in the pool hold arbitrary
 	// stale contents; every consumer clears, fills or overwrites.
 	pool sync.Pool
+
+	// outstanding counts bitmaps handed out by getBits and not yet returned
+	// by putBits: the space's live scratch balance. Release is optional for
+	// long-lived values (they are simply collected), so the absolute number
+	// is not a leak count; what the leak tests pin is that error and
+	// cancellation paths leave the balance exactly where success paths do.
+	outstanding int64
 
 	// mu guards the lazily built per-space caches below. A Space may be
 	// shared by concurrent evaluation workers (the parallel PFP sweep).
@@ -142,6 +150,7 @@ func (sp *Space) SameShape(other *Space) bool {
 // getBits returns an nᵏ-bit set with arbitrary contents, recycled from the
 // space's scratch pool when possible.
 func (sp *Space) getBits() *bitset.Set {
+	atomic.AddInt64(&sp.outstanding, 1)
 	if v := sp.pool.Get(); v != nil {
 		return v.(*bitset.Set)
 	}
@@ -152,8 +161,16 @@ func (sp *Space) getBits() *bitset.Set {
 // not retain any reference to it.
 func (sp *Space) putBits(b *bitset.Set) {
 	if b != nil {
+		atomic.AddInt64(&sp.outstanding, -1)
 		sp.pool.Put(b)
 	}
+}
+
+// ScratchOutstanding returns the current scratch balance: getBits calls minus
+// putBits calls. Tests compare balances across error and cancellation paths
+// to pin the Release discipline of conversion nodes and fixpoint loops.
+func (sp *Space) ScratchOutstanding() int64 {
+	return atomic.LoadInt64(&sp.outstanding)
 }
 
 // diagonalMask returns the cached bitmap of { t | t_i = t_j }, building it on

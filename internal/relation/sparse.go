@@ -1,0 +1,646 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxSparseCode bounds the code space of a Sparse relation: nᵏ must fit a
+// uint64 with headroom for index arithmetic. Unlike MaxDenseBits this is not
+// a memory bound — a Sparse relation stores only its tuples — it merely keeps
+// the row-major codec exact.
+const MaxSparseCode = uint64(1) << 62
+
+// Sparse is a k-ary relation over the domain {0, …, n−1} stored as a sorted,
+// deduplicated block of row-major tuple codes: tuple (t₀, …, t_{k−1}) is the
+// uint64 Σ tᵢ·n^{k−1−i}, the same codec as Space but without the nᵏ ≤
+// MaxDenseBits ceiling. Memory is 8 bytes per tuple regardless of nᵏ, which
+// is what lets a k=3 query over n=10⁴ (a 10¹²-point dense space) evaluate in
+// megabytes.
+//
+// The sorted-block layout gives logarithmic membership, linear merge-union
+// and merge-difference, and a galloping intersection that degrades gracefully
+// when one operand is much smaller than the other. All operations return new
+// relations; a Sparse is immutable after construction.
+type Sparse struct {
+	k, n   int
+	stride []uint64 // stride[i] = n^{k−1−i}
+	codes  []uint64 // sorted ascending, no duplicates
+}
+
+// sparseShape validates (k, n) and returns the stride table.
+func sparseShape(k, n int) ([]uint64, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("relation: negative arity %d", k)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("relation: negative domain size %d", n)
+	}
+	size := uint64(1)
+	for i := 0; i < k; i++ {
+		if n == 0 {
+			size = 0
+			break
+		}
+		if size > MaxSparseCode/uint64(n) {
+			return nil, fmt.Errorf("relation: sparse code space %d^%d exceeds %d", n, k, MaxSparseCode)
+		}
+		size *= uint64(n)
+	}
+	stride := make([]uint64, k)
+	s := uint64(1)
+	for i := k - 1; i >= 0; i-- {
+		stride[i] = s
+		if n > 0 {
+			s *= uint64(n)
+		}
+	}
+	return stride, nil
+}
+
+// NewSparse returns the empty k-ary sparse relation over a domain of n
+// elements. It fails only if the code space nᵏ does not fit MaxSparseCode.
+func NewSparse(k, n int) (*Sparse, error) {
+	stride, err := sparseShape(k, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Sparse{k: k, n: n, stride: stride}, nil
+}
+
+// MustSparse is NewSparse for statically valid shapes; it panics on error.
+func MustSparse(k, n int) *Sparse {
+	s, err := NewSparse(k, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// SparseOf builds a sparse relation from explicit tuples.
+func SparseOf(k, n int, tuples ...Tuple) (*Sparse, error) {
+	s, err := NewSparse(k, n)
+	if err != nil {
+		return nil, err
+	}
+	s.codes = make([]uint64, 0, len(tuples))
+	for _, t := range tuples {
+		c, err := s.EncodeChecked(t)
+		if err != nil {
+			return nil, err
+		}
+		s.codes = append(s.codes, c)
+	}
+	s.canon()
+	return s, nil
+}
+
+// SparseFromSet converts a map-backed Set into the sparse layout over a
+// domain of n elements. Components outside [0, n) are rejected.
+func SparseFromSet(set *Set, n int) (*Sparse, error) {
+	s, err := NewSparse(set.Arity(), n)
+	if err != nil {
+		return nil, err
+	}
+	s.codes = make([]uint64, 0, set.Len())
+	var convErr error
+	set.ForEach(func(t Tuple) {
+		if convErr != nil {
+			return
+		}
+		c, err := s.EncodeChecked(t)
+		if err != nil {
+			convErr = err
+			return
+		}
+		s.codes = append(s.codes, c)
+	})
+	if convErr != nil {
+		return nil, convErr
+	}
+	s.canon()
+	return s, nil
+}
+
+// sparseFromCodes wraps a code slice that the caller may not reuse,
+// canonicalizing it (sort + dedup).
+func sparseFromCodes(k, n int, stride []uint64, codes []uint64) *Sparse {
+	s := &Sparse{k: k, n: n, stride: stride, codes: codes}
+	s.canon()
+	return s
+}
+
+// canon sorts and deduplicates the code block in place.
+func (s *Sparse) canon() {
+	if len(s.codes) < 2 {
+		return
+	}
+	sort.Slice(s.codes, func(i, j int) bool { return s.codes[i] < s.codes[j] })
+	w := 1
+	for i := 1; i < len(s.codes); i++ {
+		if s.codes[i] != s.codes[w-1] {
+			s.codes[w] = s.codes[i]
+			w++
+		}
+	}
+	s.codes = s.codes[:w]
+}
+
+// sorted reports whether codes are strictly ascending (debug invariant).
+func (s *Sparse) sorted() bool {
+	for i := 1; i < len(s.codes); i++ {
+		if s.codes[i] <= s.codes[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Arity returns k.
+func (s *Sparse) Arity() int { return s.k }
+
+// Domain returns n, the number of domain elements.
+func (s *Sparse) Domain() int { return s.n }
+
+// Count returns the number of tuples.
+func (s *Sparse) Count() int { return len(s.codes) }
+
+// IsEmpty reports whether the relation has no tuples.
+func (s *Sparse) IsEmpty() bool { return len(s.codes) == 0 }
+
+// SpaceSize returns nᵏ, the number of points of the (virtual) full space.
+func (s *Sparse) SpaceSize() uint64 {
+	if s.k == 0 {
+		return 1
+	}
+	if s.n == 0 {
+		return 0
+	}
+	return s.stride[0] * uint64(s.n)
+}
+
+// SameShape reports whether two sparse relations have identical arity and
+// domain.
+func (s *Sparse) SameShape(o *Sparse) bool { return s.k == o.k && s.n == o.n }
+
+// Encode maps a tuple to its code; it panics on shape errors (programmer
+// error), mirroring Space.Encode.
+func (s *Sparse) Encode(t Tuple) uint64 {
+	c, err := s.EncodeChecked(t)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// EncodeChecked maps a tuple to its code, reporting out-of-domain components
+// as errors (possible for stored database tuples).
+func (s *Sparse) EncodeChecked(t Tuple) (uint64, error) {
+	if len(t) != s.k {
+		return 0, fmt.Errorf("relation: encoding %d-tuple in sparse relation of arity %d", len(t), s.k)
+	}
+	var c uint64
+	for i, v := range t {
+		if v < 0 || v >= s.n {
+			return 0, fmt.Errorf("relation: component %d outside domain [0,%d)", v, s.n)
+		}
+		c += uint64(v) * s.stride[i]
+	}
+	return c, nil
+}
+
+// DecodeInto writes the tuple with the given code into dst (allocated when
+// nil) and returns it.
+func (s *Sparse) DecodeInto(code uint64, dst Tuple) Tuple {
+	if dst == nil {
+		dst = make(Tuple, s.k)
+	}
+	for i := 0; i < s.k; i++ {
+		dst[i] = int((code / s.stride[i]) % uint64(s.n))
+	}
+	return dst
+}
+
+// Contains reports whether the relation contains t.
+func (s *Sparse) Contains(t Tuple) bool {
+	c, err := s.EncodeChecked(t)
+	if err != nil {
+		return false
+	}
+	return s.ContainsCode(c)
+}
+
+// ContainsCode reports membership of a tuple code via binary search.
+func (s *Sparse) ContainsCode(c uint64) bool {
+	i := sort.Search(len(s.codes), func(i int) bool { return s.codes[i] >= c })
+	return i < len(s.codes) && s.codes[i] == c
+}
+
+// ForEach calls fn with every tuple in ascending code order. The tuple is
+// reused across calls; clone it to retain.
+func (s *Sparse) ForEach(fn func(Tuple)) {
+	t := make(Tuple, s.k)
+	for _, c := range s.codes {
+		fn(s.DecodeInto(c, t))
+	}
+}
+
+// ForEachCode calls fn with every tuple code, ascending.
+func (s *Sparse) ForEachCode(fn func(uint64)) {
+	for _, c := range s.codes {
+		fn(c)
+	}
+}
+
+// Tuples returns the tuples in ascending code order (which for the row-major
+// codec is lexicographic order).
+func (s *Sparse) Tuples() []Tuple {
+	out := make([]Tuple, len(s.codes))
+	for i, c := range s.codes {
+		out[i] = s.DecodeInto(c, nil)
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s *Sparse) Clone() *Sparse {
+	return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: append([]uint64(nil), s.codes...)}
+}
+
+// Equal reports whether two relations have the same shape and tuples. Sorted
+// canonical blocks make this one linear scan.
+func (s *Sparse) Equal(o *Sparse) bool {
+	if !s.SameShape(o) || len(s.codes) != len(o.codes) {
+		return false
+	}
+	for i, c := range s.codes {
+		if o.codes[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Sparse) mustMatch(o *Sparse) {
+	if !s.SameShape(o) {
+		panic(fmt.Sprintf("relation: sparse shape mismatch: %d-ary/%d vs %d-ary/%d", s.k, s.n, o.k, o.n))
+	}
+}
+
+// gallopRatio is the size skew beyond which Intersect and Difference switch
+// from linear merging to binary-searching the smaller operand's codes into
+// the larger block.
+const gallopRatio = 16
+
+// Intersect returns s ∩ o. When one operand is much smaller the intersection
+// gallops: each code of the small side is located in the large side by binary
+// search over the remaining suffix, an O(small · log large) bound that beats
+// the linear merge exactly when the skew is large.
+func (s *Sparse) Intersect(o *Sparse) *Sparse {
+	s.mustMatch(o)
+	a, b := s.codes, o.codes
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	out := make([]uint64, 0, len(a))
+	if len(a) == 0 {
+		return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: out}
+	}
+	if len(b)/len(a) >= gallopRatio {
+		lo := 0
+		for _, c := range a {
+			i := lo + sort.Search(len(b)-lo, func(i int) bool { return b[lo+i] >= c })
+			if i < len(b) && b[i] == c {
+				out = append(out, c)
+				lo = i + 1
+			} else {
+				lo = i
+			}
+			if lo >= len(b) {
+				break
+			}
+		}
+		return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: out}
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: out}
+}
+
+// Union returns s ∪ o by a linear merge of the two sorted blocks.
+func (s *Sparse) Union(o *Sparse) *Sparse {
+	s.mustMatch(o)
+	a, b := s.codes, o.codes
+	if len(a) == 0 {
+		return o.Clone()
+	}
+	if len(b) == 0 {
+		return s.Clone()
+	}
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: out}
+}
+
+// Difference returns s \ o. A much larger o is probed by galloping search
+// instead of merged.
+func (s *Sparse) Difference(o *Sparse) *Sparse {
+	s.mustMatch(o)
+	a, b := s.codes, o.codes
+	out := make([]uint64, 0, len(a))
+	if len(a) == 0 || len(b) == 0 {
+		return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: append(out, a...)}
+	}
+	if len(b)/(len(a)+1) >= gallopRatio {
+		lo := 0
+		for _, c := range a {
+			i := lo + sort.Search(len(b)-lo, func(i int) bool { return b[lo+i] >= c })
+			if i >= len(b) || b[i] != c {
+				out = append(out, c)
+			}
+			lo = i
+		}
+		return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: out}
+	}
+	i, j := 0, 0
+	for i < len(a) {
+		for j < len(b) && b[j] < a[i] {
+			j++
+		}
+		if j >= len(b) {
+			out = append(out, a[i:]...)
+			break
+		}
+		if b[j] != a[i] {
+			out = append(out, a[i])
+		}
+		i++
+	}
+	return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: out}
+}
+
+// Project returns the projection onto the given columns, in order; columns
+// may repeat. The result is canonicalized (projection can merge tuples).
+func (s *Sparse) Project(cols []int) *Sparse {
+	for _, c := range cols {
+		if c < 0 || c >= s.k {
+			panic(fmt.Sprintf("relation: projection column %d out of arity %d", c, s.k))
+		}
+	}
+	stride, err := sparseShape(len(cols), s.n)
+	if err != nil {
+		// The target code space is at most the source code space, which was
+		// validated at construction.
+		panic(err)
+	}
+	out := make([]uint64, len(s.codes))
+	t := make(Tuple, s.k)
+	for i, c := range s.codes {
+		s.DecodeInto(c, t)
+		var nc uint64
+		for ci, col := range cols {
+			nc += uint64(t[col]) * stride[ci]
+		}
+		out[i] = nc
+	}
+	return sparseFromCodes(len(cols), s.n, stride, out)
+}
+
+// DropAxis existentially projects axis i away: the (k−1)-ary relation
+// { (t₀,…,t_{i−1},t_{i+1},…) | t ∈ s }. It is the per-axis projection the
+// sparse evaluator uses for ∃xᵢ.
+func (s *Sparse) DropAxis(i int) *Sparse {
+	if i < 0 || i >= s.k {
+		panic(fmt.Sprintf("relation: axis %d out of arity %d", i, s.k))
+	}
+	stride, err := sparseShape(s.k-1, s.n)
+	if err != nil {
+		panic(err)
+	}
+	si := s.stride[i]
+	block := si * uint64(s.n)
+	out := make([]uint64, len(s.codes))
+	for idx, c := range s.codes {
+		out[idx] = (c/block)*si + c%si
+	}
+	return sparseFromCodes(s.k-1, s.n, stride, out)
+}
+
+// AllAxis universally projects axis i away: the (k−1)-ary relation of groups
+// whose axis-i fiber is the whole domain — the sparse ∀xᵢ. Codes are grouped
+// by their axis-i-removed residue; a group satisfies ∀ exactly when it
+// contains n distinct codes (the block is deduplicated, so count equals the
+// number of distinct axis-i values).
+func (s *Sparse) AllAxis(i int) *Sparse {
+	if i < 0 || i >= s.k {
+		panic(fmt.Sprintf("relation: axis %d out of arity %d", i, s.k))
+	}
+	stride, err := sparseShape(s.k-1, s.n)
+	if err != nil {
+		panic(err)
+	}
+	if s.n == 0 {
+		// Vacuous ∀ over an empty domain: every residue qualifies, but there
+		// are no codes at all; the empty result matches the dense convention.
+		return &Sparse{k: s.k - 1, n: s.n, stride: stride}
+	}
+	si := s.stride[i]
+	block := si * uint64(s.n)
+	groups := make([]uint64, len(s.codes))
+	for idx, c := range s.codes {
+		groups[idx] = (c/block)*si + c%si
+	}
+	sort.Slice(groups, func(a, b int) bool { return groups[a] < groups[b] })
+	out := groups[:0]
+	run := 0
+	for idx := 0; idx < len(groups); idx++ {
+		run++
+		if idx+1 == len(groups) || groups[idx+1] != groups[idx] {
+			if run == s.n {
+				out = append(out, groups[idx])
+			}
+			run = 0
+		}
+	}
+	return &Sparse{k: s.k - 1, n: s.n, stride: stride, codes: append([]uint64(nil), out...)}
+}
+
+// CrossAxis widens the relation by inserting a full axis at column position
+// pos (0 ≤ pos ≤ k): every tuple is replaced by its n extensions. This is the
+// cylinder materialization at sparse representation boundaries; the result
+// has n·Count() tuples, so callers budget-check before widening.
+func (s *Sparse) CrossAxis(pos int) (*Sparse, error) {
+	if pos < 0 || pos > s.k {
+		panic(fmt.Sprintf("relation: insert position %d out of arity %d", pos, s.k))
+	}
+	stride, err := sparseShape(s.k+1, s.n)
+	if err != nil {
+		return nil, err
+	}
+	// Split each code at the insertion point and interleave all n values of
+	// the new axis. The new axis has stride n^{k−pos}; everything above it is
+	// scaled by n.
+	var below uint64 = 1
+	for i := s.k - 1; i >= pos; i-- {
+		below *= uint64(s.n)
+	}
+	out := make([]uint64, 0, len(s.codes)*s.n)
+	for _, c := range s.codes {
+		hi, lo := c/below, c%below
+		base := hi * below * uint64(s.n)
+		for v := 0; v < s.n; v++ {
+			out = append(out, base+uint64(v)*below+lo)
+		}
+	}
+	return sparseFromCodes(s.k+1, s.n, stride, out), nil
+}
+
+// Complement enumerates the codes of the full space not in s. The caller is
+// responsible for checking that nᵏ − Count() is an acceptable materialization
+// (the eval layer enforces its sparse budget before complementing).
+func (s *Sparse) Complement() *Sparse {
+	total := s.SpaceSize()
+	out := make([]uint64, 0, int(total)-len(s.codes))
+	next := 0
+	for c := uint64(0); c < total; c++ {
+		if next < len(s.codes) && s.codes[next] == c {
+			next++
+			continue
+		}
+		out = append(out, c)
+	}
+	return &Sparse{k: s.k, n: s.n, stride: s.stride, codes: out}
+}
+
+// ToSet converts to the map-backed representation.
+func (s *Sparse) ToSet() *Set {
+	out := NewSet(s.k)
+	s.ForEach(func(t Tuple) { out.Add(t) })
+	return out
+}
+
+// ToDense materializes the relation in a dense space of the same shape.
+func (s *Sparse) ToDense(sp *Space) (*Dense, error) {
+	if sp.Arity() != s.k || sp.Domain() != s.n {
+		return nil, fmt.Errorf("relation: sparse %d-ary/%d into dense space %d-ary/%d", s.k, s.n, sp.Arity(), sp.Domain())
+	}
+	d := sp.Empty()
+	for _, c := range s.codes {
+		d.AddIndex(int(c))
+	}
+	return d, nil
+}
+
+// ToSparse converts a dense relation to the sparse layout. Dense space
+// indices are already row-major codes, so this is a single ascending scan —
+// no sort needed.
+func (d *Dense) ToSparse() *Sparse {
+	s := MustSparse(d.sp.Arity(), d.sp.Domain())
+	s.codes = make([]uint64, 0, d.Count())
+	d.ForEachIndex(func(idx int) { s.codes = append(s.codes, uint64(idx)) })
+	return s
+}
+
+// FromSparse cylindrifies a sparse relation into this full-width space: the
+// result contains every point t with (t_{args[0]}, …, t_{args[m−1]}) ∈ src —
+// the dense side of a sparse→dense conversion node. Errors release the
+// partially built bitmap back to the space's scratch pool before returning.
+func (sp *Space) FromSparse(src *Sparse, args []int) (*Dense, error) {
+	if len(args) != src.Arity() {
+		return nil, fmt.Errorf("relation: atom has %d arguments for relation of arity %d", len(args), src.Arity())
+	}
+	if src.Domain() != sp.Domain() {
+		return nil, fmt.Errorf("relation: domain mismatch %d vs %d", src.Domain(), sp.Domain())
+	}
+	for _, a := range args {
+		if a < 0 || a >= sp.k {
+			return nil, fmt.Errorf("relation: atom argument refers to variable %d outside width %d", a, sp.k)
+		}
+	}
+	d := sp.Empty()
+	if sp.size == 0 {
+		return d, nil
+	}
+	aa := newAtomAdder(d, args)
+	var err error
+	t := make(Tuple, src.Arity())
+	for _, c := range src.codes {
+		src.DecodeInto(c, t)
+		if err = aa.add(t); err != nil {
+			d.Release()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// String renders the relation like Set.String, for tests and debugging.
+func (s *Sparse) String() string { return s.ToSet().String() }
+
+// SparseBuilder accumulates tuples for a Sparse relation; Build canonicalizes
+// once, so bulk construction costs one sort instead of per-insert ordering.
+type SparseBuilder struct {
+	s *Sparse
+}
+
+// NewSparseBuilder starts building a k-ary sparse relation over a domain of
+// n elements.
+func NewSparseBuilder(k, n int) (*SparseBuilder, error) {
+	s, err := NewSparse(k, n)
+	if err != nil {
+		return nil, err
+	}
+	return &SparseBuilder{s: s}, nil
+}
+
+// Add appends a tuple, validating its components.
+func (b *SparseBuilder) Add(t Tuple) error {
+	c, err := b.s.EncodeChecked(t)
+	if err != nil {
+		return err
+	}
+	b.s.codes = append(b.s.codes, c)
+	return nil
+}
+
+// AddCode appends a raw tuple code the caller has already validated.
+func (b *SparseBuilder) AddCode(c uint64) { b.s.codes = append(b.s.codes, c) }
+
+// Len returns the number of codes added so far (before deduplication).
+func (b *SparseBuilder) Len() int { return len(b.s.codes) }
+
+// Build canonicalizes and returns the relation. The builder must not be used
+// afterwards.
+func (b *SparseBuilder) Build() *Sparse {
+	s := b.s
+	b.s = nil
+	s.canon()
+	return s
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestBackendRouting pins the wire contract of the backend field: sparse and
+// dense agree on answers through the compiled engine, the response echoes
+// the resolved backend, and sparse runs report their Stats counters.
+func TestBackendRouting(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, dense, _ := postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled", Backend: "dense"})
+	if code != http.StatusOK {
+		t.Fatalf("dense backend: status %d", code)
+	}
+	if dense.Backend != "dense" {
+		t.Fatalf("response backend %q, want dense", dense.Backend)
+	}
+
+	code, sparse, _ := postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled", Backend: "sparse"})
+	if code != http.StatusOK {
+		t.Fatalf("sparse backend: status %d", code)
+	}
+	if sparse.Backend != "sparse" {
+		t.Fatalf("response backend %q, want sparse", sparse.Backend)
+	}
+	if len(sparse.Answer) != len(dense.Answer) || sparse.Count != dense.Count {
+		t.Fatalf("backends disagree: sparse %v, dense %v", sparse.Answer, dense.Answer)
+	}
+	for i := range sparse.Answer {
+		for j := range sparse.Answer[i] {
+			if sparse.Answer[i][j] != dense.Answer[i][j] {
+				t.Fatalf("backends disagree: sparse %v, dense %v", sparse.Answer, dense.Answer)
+			}
+		}
+	}
+	// twoHop is an acyclic CQ: the sparse backend must answer it through
+	// Yannakakis and say so in the statistics.
+	if sparse.Stats == nil || sparse.Stats.AcyclicFastPath != 1 {
+		t.Fatalf("sparse stats missing the fast-path marker: %+v", sparse.Stats)
+	}
+	if sparse.Stats.TuplesTouched == 0 {
+		t.Fatalf("sparse stats report zero tuples touched: %+v", sparse.Stats)
+	}
+	// An unadorned request must not echo a backend (wire compatibility).
+	code, auto, _ := postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled"})
+	if code != http.StatusOK || auto.Backend != "" {
+		t.Fatalf("auto request echoed backend %q (status %d)", auto.Backend, code)
+	}
+}
+
+// TestBackendValidation pins the 400s: unknown backend names, and non-auto
+// backends on engines that have no notion of one.
+func TestBackendValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	code, _, bad := postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled", Backend: "columnar"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown backend: status %d", code)
+	}
+	if !strings.Contains(bad.Error, "unknown backend") {
+		t.Fatalf("unknown backend error %q", bad.Error)
+	}
+
+	for _, engine := range []string{"", "bottomup", "naive"} {
+		code, _, bad := postQuery(t, ts, QueryRequest{
+			Database: "graph", Query: twoHop, Engine: engine, Backend: "sparse"})
+		if code != http.StatusBadRequest {
+			t.Fatalf("engine %q with sparse backend: status %d", engine, code)
+		}
+		if !strings.Contains(bad.Error, "requires the compiled engine") {
+			t.Fatalf("engine %q error %q", engine, bad.Error)
+		}
+	}
+
+	// backend=auto is the default and valid everywhere.
+	code, _, _ = postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Backend: "auto"})
+	if code != http.StatusOK {
+		t.Fatalf("backend auto on the default engine: status %d", code)
+	}
+}
+
+// TestBackendCacheIsolation pins that the result cache keys on the backend:
+// a dense run's cached statistics must never be served to a sparse request.
+func TestBackendCacheIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	_, first, _ := postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled", Backend: "dense"})
+	if first.ResultCached {
+		t.Fatal("first dense request served from cache")
+	}
+	_, second, _ := postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled", Backend: "dense"})
+	if !second.ResultCached {
+		t.Fatal("repeat dense request not served from cache")
+	}
+	_, cross, _ := postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled", Backend: "sparse"})
+	if cross.ResultCached {
+		t.Fatal("sparse request served a dense run's cache entry")
+	}
+	if cross.Stats == nil || cross.Stats.AcyclicFastPath != 1 {
+		t.Fatalf("sparse request got non-sparse stats: %+v", cross.Stats)
+	}
+}
+
+// TestBackendObservability pins the new operational surfaces: the aggregate
+// /stats counters and the Prometheus families move when sparse runs happen.
+func TestBackendObservability(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	postQuery(t, ts, QueryRequest{
+		Database: "graph", Query: twoHop, Engine: "compiled", Backend: "sparse"})
+	st := s.Stats()
+	if st.Eval.TuplesTouched == 0 {
+		t.Fatalf("aggregate tuples_touched is zero after a sparse run: %+v", st.Eval)
+	}
+	if st.Eval.AcyclicFastPath != 1 {
+		t.Fatalf("aggregate acyclic_fast_path = %d, want 1", st.Eval.AcyclicFastPath)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, family := range []string{
+		"bvqd_queries_by_backend_total{backend=\"sparse\"} 1",
+		"bvqd_eval_tuples_touched_total",
+		"bvqd_eval_rep_switches_total",
+		"bvqd_eval_acyclic_fastpath_total",
+	} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("/metrics missing %q:\n%s", family, body)
+		}
+	}
+}

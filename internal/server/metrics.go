@@ -19,6 +19,7 @@ type serverMetrics struct {
 	panics   *metrics.Counter      // bvqd_panics_recovered_total
 	slow     *metrics.Counter      // bvqd_slow_queries_total
 	statuses *metrics.CounterVec   // bvqd_responses_total{code}
+	backends *metrics.CounterVec   // bvqd_queries_by_backend_total{backend}
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -36,6 +37,8 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Requests slower than the slow-query threshold."),
 		statuses: r.NewCounterVec("bvqd_responses_total",
 			"Responses to /query by HTTP status code.", "code"),
+		backends: r.NewCounterVec("bvqd_queries_by_backend_total",
+			"Requests by requested relation backend (auto, dense, sparse).", "backend"),
 	}
 
 	r.NewCounterFunc("bvqd_queries_total",
@@ -87,6 +90,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.NewCounterFunc("bvqd_eval_fix_iterations_total",
 		"Fixpoint stages across all runs, including partial ones.",
 		s.fixIterations.Load)
+	r.NewCounterFunc("bvqd_eval_tuples_touched_total",
+		"Tuples written by sparse-backend operations across all runs.",
+		s.tuplesTouched.Load)
+	r.NewCounterFunc("bvqd_eval_rep_switches_total",
+		"Sparse→dense conversions at the hybrid frontier across all runs.",
+		s.repSwitches.Load)
+	r.NewCounterFunc("bvqd_eval_acyclic_fastpath_total",
+		"Queries answered by the Yannakakis acyclic-join fast path.",
+		s.acyclicFast.Load)
 
 	r.NewGaugeFunc("bvqd_uptime_seconds",
 		"Seconds since the server started.",

@@ -139,6 +139,9 @@ type Server struct {
 
 	subformulaEvals atomic.Int64 // aggregate engine work, incl. partial runs
 	fixIterations   atomic.Int64
+	tuplesTouched   atomic.Int64 // sparse-backend tuple work across all runs
+	repSwitches     atomic.Int64 // sparse→dense hybrid-frontier conversions
+	acyclicFast     atomic.Int64 // queries answered by the Yannakakis fast path
 
 	// testHookBeforeEval, when set, runs inside the evaluation closure after
 	// admission, before the engine. Tests use it to inject panics and to
@@ -243,6 +246,12 @@ type QueryRequest struct {
 	// Engine selects the evaluation algorithm (bottomup, naive, algebra,
 	// monotone, eso, certified, compiled). Empty means bottomup.
 	Engine string `json:"engine,omitempty"`
+	// Backend selects the compiled engine's relation representation: auto
+	// (default — the density heuristic picks), dense (force the full-width
+	// nᵏ bitmap engine) or sparse (force sorted tuple blocks with the
+	// acyclic Yannakakis fast path). Only the compiled engine understands
+	// backends; any other engine with a non-auto backend is a 400.
+	Backend string `json:"backend,omitempty"`
 	// MaxWidth rejects queries of width > MaxWidth (the Lᵏ membership
 	// check). 0 means unbounded; negative is a 400.
 	MaxWidth int `json:"max_width,omitempty"`
@@ -273,6 +282,9 @@ type QueryResponse struct {
 	RequestID string `json:"request_id"`
 	Database  string `json:"database"`
 	Engine    string `json:"engine"`
+	// Backend echoes the resolved relation backend (auto, dense, sparse)
+	// when the request selected one explicitly.
+	Backend string `json:"backend,omitempty"`
 	// Width is the query's variable count (its Lᵏ class).
 	Width int `json:"width"`
 	// Arity is the answer arity; for arity 0 (Boolean queries) Truth is
@@ -330,6 +342,13 @@ type StatsJSON struct {
 	// through semi-naive stage deltas.
 	NodesReused int64 `json:"nodes_reused,omitempty"`
 	DeltaTuples int64 `json:"delta_tuples,omitempty"`
+	// TuplesTouched, RepSwitches and AcyclicFastPath are reported by the
+	// compiled engine's sparse backend: tuples written by sparse operations,
+	// sparse→dense conversions at the hybrid frontier, and whether the
+	// Yannakakis acyclic-join pipeline answered the query.
+	TuplesTouched   int64 `json:"tuples_touched,omitempty"`
+	RepSwitches     int64 `json:"rep_switches,omitempty"`
+	AcyclicFastPath int64 `json:"acyclic_fast_path,omitempty"`
 }
 
 func statsJSON(st *eval.Stats) *StatsJSON {
@@ -343,6 +362,9 @@ func statsJSON(st *eval.Stats) *StatsJSON {
 		MaxIntermediateTuples: st.MaxIntermediateTuples,
 		NodesReused:           st.NodesReused,
 		DeltaTuples:           st.DeltaTuples,
+		TuplesTouched:         st.TuplesTouched,
+		RepSwitches:           st.RepSwitches,
+		AcyclicFastPath:       st.AcyclicFastPath,
 	}
 }
 
@@ -415,6 +437,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusBadRequest, err, nil)
 		return
 	}
+	backend, err := eval.BackendByName(req.Backend)
+	if err != nil {
+		fail(http.StatusBadRequest, err, nil)
+		return
+	}
+	if backend != eval.BackendAuto && engine != bvq.EngineCompiled {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("backend %q requires the compiled engine (got %q)", backend, engineName), nil)
+		return
+	}
+	s.metrics.backends.With(backend.String()).Inc()
 	pl, planCached, err := s.plans.Load(req.Query)
 	if err != nil {
 		fail(http.StatusBadRequest, err, nil)
@@ -440,7 +473,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	opts := &eval.Options{MaxWidth: req.MaxWidth, Parallelism: req.Parallelism}
+	opts := &eval.Options{MaxWidth: req.MaxWidth, Parallelism: req.Parallelism, Backend: backend}
 	var traceMu sync.Mutex
 	var traceEvents []TraceStageJSON
 	var traceTruncated bool
@@ -474,6 +507,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Width:      pl.Width,
 		Arity:      pl.Query.Arity(),
 		PlanCached: planCached,
+	}
+	if req.Backend != "" {
+		resp.Backend = backend.String()
 	}
 
 	// A traced request must run the evaluation itself: a cache read or a
@@ -535,6 +571,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			if st != nil {
 				s.subformulaEvals.Add(st.SubformulaEvals)
 				s.fixIterations.Add(st.FixIterations)
+				s.tuplesTouched.Add(st.TuplesTouched)
+				s.repSwitches.Add(st.RepSwitches)
+				s.acyclicFast.Add(st.AcyclicFastPath)
 			}
 			if eerr == nil && !req.NoCache {
 				s.results.Put(key, cache.Result{Answer: ans, Stats: st})
@@ -668,10 +707,15 @@ type CacheStats struct {
 }
 
 // AggregateEvalStats accumulates engine work across all evaluations,
-// including the partial work of cancelled runs.
+// including the partial work of cancelled runs. The last three fields are
+// sparse-backend work: tuples written by sparse operations, hybrid-frontier
+// representation conversions, and queries answered by the acyclic fast path.
 type AggregateEvalStats struct {
 	SubformulaEvals int64 `json:"subformula_evals"`
 	FixIterations   int64 `json:"fix_iterations"`
+	TuplesTouched   int64 `json:"tuples_touched"`
+	RepSwitches     int64 `json:"rep_switches"`
+	AcyclicFastPath int64 `json:"acyclic_fast_path"`
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -708,6 +752,9 @@ func (s *Server) Stats() StatsResponse {
 		Eval: AggregateEvalStats{
 			SubformulaEvals: s.subformulaEvals.Load(),
 			FixIterations:   s.fixIterations.Load(),
+			TuplesTouched:   s.tuplesTouched.Load(),
+			RepSwitches:     s.repSwitches.Load(),
+			AcyclicFastPath: s.acyclicFast.Load(),
 		},
 	}
 }

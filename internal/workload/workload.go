@@ -86,6 +86,53 @@ func RandomGraph(seed int64, n, edgeInv int) *database.Database {
 	return b.MustBuild()
 }
 
+// ForestGraph is the disjoint union of ⌈n/block⌉ directed paths, each on
+// `block` consecutive nodes, with P marking the path roots. Its transitive
+// closure has at most n·block pairs regardless of n, which makes it the
+// canonical large-domain workload for the sparse backend: the n² (or nᵏ)
+// space is astronomically bigger than anything the query ever touches.
+func ForestGraph(n, block int) *database.Database {
+	if block < 1 {
+		block = 1
+	}
+	b := database.NewBuilder().Relation("E", 2).Relation("P", 1)
+	for i := 0; i < n; i++ {
+		b.Domain(i)
+		if i%block == 0 {
+			b.Add("P", i)
+		} else {
+			b.Add("E", i-1, i)
+		}
+	}
+	return b.MustBuild()
+}
+
+// SparseDigraph draws a random digraph with expected out-degree deg by
+// sampling ⌊n·deg⌋ directed edges uniformly (self-loops excluded,
+// duplicates deduplicated by the database). Unlike RandomGraph it costs
+// O(edges), not O(n²), so it scales to the 10⁴–10⁵ node domains the sparse
+// backend exists for. Keep deg below 1 for bounded reachability: past the
+// ~1/node percolation threshold the transitive closure is Θ(n²) tuples no
+// matter how sparse the edge set looks.
+func SparseDigraph(seed int64, n int, deg float64) *database.Database {
+	r := rand.New(rand.NewSource(seed))
+	b := database.NewBuilder().Relation("E", 2).Relation("P", 1)
+	for i := 0; i < n; i++ {
+		b.Domain(i)
+	}
+	edges := int(float64(n) * deg)
+	for e := 0; e < edges; e++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			b.Add("E", u, v)
+		}
+	}
+	for i := 0; i < n; i += 97 {
+		b.Add("P", i)
+	}
+	return b.MustBuild()
+}
+
 // Corporate is the §1 EMP/MGR/SCY/SAL database: employees 0..ne−1,
 // departments ne…, each department with a manager and the manager with a
 // secretary, every employee with a department and a salary. SAL2 duplicates
