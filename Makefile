@@ -6,16 +6,18 @@ all: vet test build
 
 # check is the pre-merge gate: static analysis, the documentation checks,
 # the full suite under the race detector (the parallel PFP sweep, the
-# compiled engine's wave scheduler and the bvqd single-flight path make
-# -race meaningful), the differential harness and the compiled scheduler
-# called out by name so a regression there is visible by name, and a
-# single-iteration benchmark smoke pass so the benchmarks themselves
-# cannot rot.
+# compiled engine's wave scheduler, the bvqd single-flight path and the
+# update/maintenance path make -race meaningful), the differential
+# harnesses — including the randomized churn differential, which drives
+# hundreds of mutation steps through delta-restart maintenance — and the
+# compiled scheduler called out by name so a regression there is visible
+# by name, and a single-iteration benchmark smoke pass so the benchmarks
+# themselves cannot rot.
 check: docs
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/ ./internal/metrics/
-	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled' ./internal/eval/
+	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled|TestChurn|TestMaintain|TestUpdate' ./internal/eval/ ./internal/server/
 	$(GO) test -count=1 -run 'TestSparseLargeDomainTC' ./internal/eval/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/eval/ ./internal/relation/ ./internal/bitset/
 

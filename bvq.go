@@ -45,10 +45,18 @@ import (
 // Re-exported core types. The aliases make the internal packages' types
 // part of the public API without duplicating them.
 type (
-	// Database is an immutable relational database (D; R₁, …, R_ℓ).
+	// Database is a relational database (D; R₁, …, R_ℓ). Each Database is
+	// an immutable snapshot value; Database.Apply expresses mutation by
+	// returning a new snapshot plus the effective Delta (copy-on-write,
+	// MVCC-style — holders of the old snapshot are unaffected).
 	Database = database.Database
 	// Builder assembles a Database.
 	Builder = database.Builder
+	// Update is one relation's tuple-level change in a Database.Apply call.
+	Update = database.Update
+	// Delta is the effective difference between a database snapshot and
+	// the snapshot Apply returned.
+	Delta = database.Delta
 	// Query is (x̄)φ — a head tuple and a body formula.
 	Query = logic.Query
 	// Formula is a formula of FO/FP/ESO/PFP.

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/logic"
 	"repro/internal/mucalc"
+	"repro/internal/plan"
 	"repro/internal/relation"
 	"repro/internal/workload"
 )
@@ -21,9 +23,10 @@ import (
 // JSON object per line (JSON Lines), so downstream tooling can stream-filter
 // with jq without loading the whole run.
 type Record struct {
-	Bench   string  `json:"bench"`             // workload id: tc-lfp, reach-lfp, mu-fp2, pfp-grow, sparse-*
+	Bench   string  `json:"bench"`             // workload id: tc-lfp, reach-lfp, mu-fp2, pfp-grow, sparse-*, churn-tc
 	Engine  string  `json:"engine"`            // bottomup, compiled, monotone
 	Backend string  `json:"backend,omitempty"` // compiled-engine relation backend (dense, sparse, auto)
+	Mode    string  `json:"mode,omitempty"`    // churn benches: recompute or maintain
 	Query   string  `json:"query"`             // concrete query text
 	DB      string  `json:"db"`                // database family
 	N       int     `json:"n"`                 // domain size
@@ -53,6 +56,7 @@ type statsJSON struct {
 	TuplesTouched         int64 `json:"tuples_touched"`
 	RepSwitches           int64 `json:"rep_switches"`
 	AcyclicFastPath       int64 `json:"acyclic_fast_path"`
+	MaintainedFromDelta   int64 `json:"maintained_from_delta,omitempty"`
 }
 
 func toStatsJSON(st *eval.Stats) *statsJSON {
@@ -69,6 +73,7 @@ func toStatsJSON(st *eval.Stats) *statsJSON {
 		TuplesTouched:         st.TuplesTouched,
 		RepSwitches:           st.RepSwitches,
 		AcyclicFastPath:       st.AcyclicFastPath,
+		MaintainedFromDelta:   st.MaintainedFromDelta,
 	}
 }
 
@@ -91,6 +96,7 @@ func jsonRecords(quick bool) []Record {
 	recs = append(recs, benchMuFP2(quick)...)
 	recs = append(recs, benchPFPGrow(quick)...)
 	recs = append(recs, benchSparse(quick)...)
+	recs = append(recs, benchChurn(quick)...)
 	return recs
 }
 
@@ -336,6 +342,73 @@ func benchSparse(quick bool) []Record {
 		}
 		recs = append(recs, backendRecords("sparse-tc", "forest", n, tc, db, backends)...)
 		recs = append(recs, backendRecords("sparse-2hop", "forest", n, hop, db, backends)...)
+	}
+	return recs
+}
+
+// benchChurn is the incremental-maintenance story: transitive closure on a
+// line graph, then a one-edge insert (a self-loop, whose effective TC delta
+// is a single tuple). "recompute" evaluates the updated database from
+// scratch; "maintain" restarts the fixpoint from the pre-update stage
+// relation (eval.EvalPlanMaintained) — the bvqd update path's eager
+// maintenance. Both modes must produce the same answer; the ratio of their
+// ns_per_op is the payoff of delta-restart on small deltas.
+func benchChurn(quick bool) []Record {
+	sizes := []int{64, 96, 128}
+	if quick {
+		sizes = []int{32, 64}
+	}
+	q := tcQuery()
+	p, err := plan.Compile(q)
+	die(err)
+	opts := &eval.Options{Backend: eval.BackendDense}
+	ctx := context.Background()
+	var recs []Record
+	for _, n := range sizes {
+		db := workload.LineGraph(n)
+		_, _, state, err := eval.EvalPlanCapture(ctx, p, db, opts)
+		die(err)
+		next, delta, err := db.Apply([]database.Update{
+			{Relation: "E", Insert: []relation.Tuple{{n / 2, n / 2}}},
+		})
+		die(err)
+		if !eval.CanMaintain(p, delta) {
+			die(fmt.Errorf("churn-tc n=%d: insert-only TC delta should be maintainable", n))
+		}
+		var want string
+		for _, mode := range []string{"recompute", "maintain"} {
+			var tuples int
+			var st *eval.Stats
+			nsPerOp, reps := measure(func() {
+				var a *relation.Set
+				var err error
+				if mode == "maintain" {
+					a, st, _, err = eval.EvalPlanMaintained(ctx, p, next, opts, state)
+				} else {
+					a, st, err = eval.EvalPlanContext(ctx, p, next, opts)
+				}
+				die(err)
+				tuples = a.Len()
+				if want == "" {
+					want = a.String()
+				} else if got := a.String(); got != want {
+					die(fmt.Errorf("churn-tc n=%d: %s answer diverges from recompute", n, mode))
+				}
+			})
+			rec := Record{Bench: "churn-tc", Engine: "compiled", Backend: "dense", Mode: mode,
+				Query: q.String(), DB: "line", N: n, Reps: reps, NsPerOp: nsPerOp,
+				Answer: tuples, Stats: toStatsJSON(st)}
+			rec.PeakHeapBytes, rec.AllocBytes = measureMem(func() {
+				if mode == "maintain" {
+					_, _, _, err := eval.EvalPlanMaintained(ctx, p, next, opts, state)
+					die(err)
+				} else {
+					_, _, err := eval.EvalPlanContext(ctx, p, next, opts)
+					die(err)
+				}
+			})
+			recs = append(recs, rec)
+		}
 	}
 	return recs
 }

@@ -5,6 +5,14 @@
 // cancellation at fixpoint-stage boundaries, admission control with
 // load shedding, Prometheus metrics, and structured slow-query logs.
 //
+// Databases are mutable through POST /db/{name}/update: each update is an
+// atomic copy-on-write snapshot transition (queries in flight keep their
+// snapshot — MVCC isolation), and the result cache is triaged per entry
+// instead of flushed — results whose dependency footprint misses the
+// delta are carried across, cached fixpoint results are incrementally
+// maintained by restarting the fixpoint from the previous state when the
+// delta's polarity admits it, and only the rest is invalidated.
+//
 // Usage:
 //
 //	bvqd -db graph=examples/data/graph.db [-db corp=examples/data/corporate.db] \
@@ -15,10 +23,11 @@
 //
 // Endpoints (see OPERATIONS.md for the full request/response schema):
 //
-//	POST /query    {"database": "graph", "query": "(x, y). exists z. E(x, z) & E(z, y)"}
-//	GET  /stats    JSON counters: caches, in-flight gauges, aggregate work
-//	GET  /metrics  Prometheus text-format metrics
-//	GET  /healthz  liveness
+//	POST /query             {"database": "graph", "query": "(x, y). exists z. E(x, z) & E(z, y)"}
+//	POST /db/{name}/update  {"updates": [{"relation": "E", "insert": [[40, 10]], "delete": [[10, 20]]}]}
+//	GET  /stats             JSON counters: caches, churn, in-flight gauges, aggregate work
+//	GET  /metrics           Prometheus text-format metrics
+//	GET  /healthz           liveness
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.

@@ -189,3 +189,31 @@ func ExampleModelCheck() {
 	fmt.Println(states)
 	// Output: [0 1 2]
 }
+
+func ExampleDatabase_Apply() {
+	db := exampleDB() // path 0→1→2→3, P = {0}
+	reach, _ := bvq.ParseQuery("(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)")
+	before, _ := bvq.Eval(reach, db, bvq.EngineBottomUp)
+
+	// Apply never mutates: it returns a new snapshot plus the effective
+	// delta. Holders of the old snapshot (in-flight queries, caches) keep
+	// evaluating against byte-identical data.
+	next, delta, err := db.Apply([]bvq.Update{
+		{Relation: "E", Insert: []bvq.Tuple{{3, 0}}, Delete: []bvq.Tuple{{0, 1}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := bvq.Eval(reach, next, bvq.EngineBottomUp)
+
+	ins, del := delta.Counts()
+	fmt.Println("changed:", delta.Relations(), "inserted:", ins, "deleted:", del)
+	fmt.Println("versions:", db.Version(), "->", next.Version())
+	fmt.Println("old snapshot still:", before)
+	fmt.Println("new snapshot:", after)
+	// Output:
+	// changed: [E] inserted: 1 deleted: 1
+	// versions: 0 -> 1
+	// old snapshot still: {(0), (1), (2), (3)}
+	// new snapshot: {(0)}
+}

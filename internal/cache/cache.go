@@ -6,8 +6,12 @@
 //     a repeated query never pays parse+width cost twice (the "amortize
 //     preprocessing" discipline of the constant-delay line of work);
 //   - ResultCache — evaluation answers keyed by (database fingerprint,
-//     engine, options, query text); sound because databases are immutable
-//     after Build and every engine is deterministic;
+//     engine, options, query text); sound because database snapshots are
+//     immutable values (tuple updates create new snapshots with new
+//     fingerprints — database.Apply) and every engine is deterministic;
+//   - Index — churn tracking: which live results depend on which relations,
+//     so an update carries, maintains or invalidates entries instead of
+//     flushing the cache (churn.go);
 //   - Flight — single-flight deduplication, so concurrent identical
 //     requests share one evaluation instead of racing n copies.
 //
@@ -82,6 +86,24 @@ func (l *LRU[V]) Put(key string, val V) {
 		delete(l.items, oldest.Value.(*lruEntry[V]).key)
 		l.evictions.Add(1)
 	}
+}
+
+// Remove deletes key from the cache, reporting whether it was present.
+// Removals are not evictions: the entry is being invalidated or rekeyed by
+// the caller, not displaced by capacity pressure.
+func (l *LRU[V]) Remove(key string) bool {
+	if l.max <= 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		return false
+	}
+	l.ll.Remove(el)
+	delete(l.items, key)
+	return true
 }
 
 // Len returns the current number of entries.

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/plan"
+)
+
+// Churn-aware result tracking. Result-cache keys embed a database
+// fingerprint, so a tuple-level update (database.Apply) silently orphans
+// every key minted against the old snapshot. The Index below records, per
+// served database, which live cache entries depend on which relations, so
+// the update path can triage instead of flushing:
+//
+//   - a result whose dependency footprint is disjoint from the delta is
+//     *carried*: rekeyed to the new fingerprint unchanged;
+//   - a result with maintenance state whose plan admits the delta
+//     (eval.CanMaintain) is *maintained*: re-derived by delta-restart and
+//     stored under the new key;
+//   - everything else is *invalidated*: removed, to be recomputed on demand.
+//
+// The plan cache needs none of this — it is keyed by query text alone and
+// survives every update untouched.
+
+// Tracked is one live result-cache entry's churn metadata. Key is the entry's
+// current cache key; Engine/Opts/Query are the key's non-fingerprint
+// components, kept so the entry can be rekeyed against a new snapshot.
+type Tracked struct {
+	Key    string
+	Engine string
+	Query  string
+	// Opts holds the answer-affecting options that went into Key. It must
+	// not alias a request's live Options (tracers do not belong in an index).
+	Opts *eval.Options
+	// Footprint lists the database relations the result depends on, sorted.
+	// nil means the dependency set is unknown (the query was evaluated by an
+	// engine without a compiled plan): every delta is assumed to overlap.
+	Footprint []string
+	// Plan and State, when both non-nil, enable delta-restart maintenance:
+	// Plan is the compiled plan and State the eval.MaintState captured by the
+	// run that produced the cached answer.
+	Plan  *plan.Plan
+	State *eval.MaintState
+}
+
+// Overlaps reports whether the entry's footprint intersects the (sorted)
+// changed-relation list. An unknown footprint overlaps everything.
+func (t *Tracked) Overlaps(changed []string) bool {
+	if t.Footprint == nil {
+		return true
+	}
+	i, j := 0, 0
+	for i < len(t.Footprint) && j < len(changed) {
+		switch {
+		case t.Footprint[i] == changed[j]:
+			return true
+		case t.Footprint[i] < changed[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Index tracks live result-cache entries per database name. All methods are
+// safe for concurrent use; the update path additionally serializes Take +
+// re-Register per database under the server's snapshot lock, so one update's
+// triage never interleaves with another's.
+type Index struct {
+	mu sync.Mutex
+	// max bounds the tracked entries per database; 0 means unbounded.
+	max int
+	m   map[string]map[string]*Tracked
+}
+
+// NewIndex returns an index tracking at most max entries per database
+// (0 = unbounded). The bound matters because tracked entries can outlive
+// their cache line (LRU eviction does not notify the index); stale entries
+// are pruned at each update, but a database that is never updated should not
+// accumulate tracking beyond its cache's capacity.
+func NewIndex(max int) *Index {
+	return &Index{max: max, m: make(map[string]map[string]*Tracked)}
+}
+
+// Register records (or replaces) the entry under its Key. When the per-
+// database bound is hit, an arbitrary existing entry is dropped — losing
+// tracking only costs a maintenance opportunity, never correctness.
+func (ix *Index) Register(db string, t *Tracked) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	entries := ix.m[db]
+	if entries == nil {
+		entries = make(map[string]*Tracked)
+		ix.m[db] = entries
+	}
+	if _, replacing := entries[t.Key]; !replacing && ix.max > 0 && len(entries) >= ix.max {
+		for k := range entries {
+			delete(entries, k)
+			break
+		}
+	}
+	entries[t.Key] = t
+}
+
+// Take removes and returns every tracked entry for db. The update path calls
+// it at the start of a triage and re-registers the survivors under their new
+// keys.
+func (ix *Index) Take(db string) []*Tracked {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	entries := ix.m[db]
+	if len(entries) == 0 {
+		return nil
+	}
+	out := make([]*Tracked, 0, len(entries))
+	for _, t := range entries {
+		out = append(out, t)
+	}
+	delete(ix.m, db)
+	return out
+}
+
+// Len returns the number of tracked entries for db.
+func (ix *Index) Len(db string) int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.m[db])
+}
+
+// Remove deletes one tracked entry by key.
+func (ix *Index) Remove(db, key string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if entries := ix.m[db]; entries != nil {
+		delete(entries, key)
+	}
+}
+
+// Remove deletes the result stored under key, reporting whether it existed.
+func (c *ResultCache) Remove(key string) bool { return c.lru.Remove(key) }

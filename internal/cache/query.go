@@ -67,9 +67,10 @@ type Result struct {
 }
 
 // ResultCache memoizes evaluation results keyed by ResultKey. Soundness
-// rests on two invariants: databases are immutable after Build (so the
-// fingerprint pins the content), and every engine is deterministic (so the
-// first answer is the only answer). Cached Answer sets must be treated as
+// rests on two invariants: database snapshots are immutable values — a tuple
+// update produces a new snapshot with a new fingerprint (database.Apply), so
+// the fingerprint pins the content — and every engine is deterministic (so
+// the first answer is the only answer). Cached Answer sets must be treated as
 // read-only by all consumers.
 type ResultCache struct {
 	lru *LRU[Result]

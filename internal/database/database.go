@@ -18,13 +18,24 @@ import (
 	"repro/internal/relation"
 )
 
-// Database is an immutable relational database over a finite domain.
+// Database is a relational database over a finite domain. A Database value
+// is immutable — evaluators, fingerprints and caches all rely on that — and
+// mutation is snapshot-based: Apply returns a new version sharing unchanged
+// relations with its parent (see mutate.go).
 type Database struct {
 	domain []int          // sorted distinct natural numbers
 	idx    map[int]int    // value → index in domain
 	names  []string       // relation names in declaration order
 	arity  map[string]int // relation name → arity
 	rels   map[string]*relation.Set
+
+	// Snapshot lineage (mutate.go): version counts effective Apply steps
+	// since Build; fp is the precomputed chained fingerprint of a mutated
+	// snapshot (fpKnown marks it valid — built databases hash their encoding
+	// on demand instead).
+	version uint64
+	fp      uint64
+	fpKnown bool
 }
 
 // Builder assembles a Database. Tuples are given in raw domain values; the

@@ -56,10 +56,15 @@ func (db *Database) EncodedLen() int { return len(db.Encode()) }
 
 // Fingerprint returns a stable 64-bit content hash of the database: relation
 // names and arities (the signature, which the positional standard encoding
-// omits) followed by the standard encoding itself. Databases are immutable
-// after Build, so the fingerprint identifies the content for the lifetime of
-// the value; the bvqd result cache keys on it.
+// omits) followed by the standard encoding itself. Database values are
+// immutable, so the fingerprint identifies the content for the lifetime of
+// the value; the bvqd result cache keys on it. Mutated snapshots carry a
+// precomputed lineage fingerprint instead (see mutate.go) — equal
+// fingerprints imply equal content either way.
 func (db *Database) Fingerprint() uint64 {
+	if db.fpKnown {
+		return db.fp
+	}
 	h := fnv.New64a()
 	for _, name := range db.names {
 		a, _ := db.Arity(name)

@@ -1,0 +1,174 @@
+package database
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+func twoRelDB(t *testing.T) *Database {
+	t.Helper()
+	db, err := NewBuilder().
+		Relation("E", 2).Relation("P", 1).
+		Add("E", 0, 1).Add("E", 1, 2).Add("P", 0).
+		Domain(3).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestApplySnapshot(t *testing.T) {
+	db := twoRelDB(t)
+	baseText := db.String()
+	baseEnc := db.Encode()
+	baseFP := db.Fingerprint()
+
+	next, delta, err := db.Apply([]Update{
+		{Relation: "E", Insert: []relation.Tuple{{2, 3}}, Delete: []relation.Tuple{{0, 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.String() != baseText || db.Encode() != baseEnc || db.Fingerprint() != baseFP {
+		t.Fatalf("parent snapshot changed under Apply")
+	}
+	if db.Version() != 0 || next.Version() != 1 {
+		t.Fatalf("versions = %d → %d, want 0 → 1", db.Version(), next.Version())
+	}
+	if next.Fingerprint() == baseFP {
+		t.Fatalf("fingerprint did not change across an effective update")
+	}
+	e, err := next.RelValues("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Contains(relation.Tuple{0, 1}) || !e.Contains(relation.Tuple{2, 3}) || !e.Contains(relation.Tuple{1, 2}) {
+		t.Fatalf("unexpected E after update: %v", e)
+	}
+
+	// The untouched relation is shared between snapshots, not copied.
+	p0, _ := db.Rel("P")
+	p1, _ := next.Rel("P")
+	if p0 != p1 {
+		t.Fatalf("unchanged relation was copied instead of shared")
+	}
+
+	// Effective delta in index space, sorted.
+	rd, ok := delta.Rels["E"]
+	if !ok || len(delta.Rels) != 1 {
+		t.Fatalf("delta relations = %v, want {E}", delta.Relations())
+	}
+	i2, _ := db.Index(2)
+	i3, _ := db.Index(3)
+	if len(rd.Ins) != 1 || !rd.Ins[0].Equal(relation.Tuple{i2, i3}) {
+		t.Fatalf("delta ins = %v", rd.Ins)
+	}
+	if len(rd.Del) != 1 {
+		t.Fatalf("delta del = %v", rd.Del)
+	}
+	if delta.InsertOnly() {
+		t.Fatalf("delta with a delete reported InsertOnly")
+	}
+	if ins, del := delta.Counts(); ins != 1 || del != 1 {
+		t.Fatalf("Counts = %d,%d", ins, del)
+	}
+}
+
+func TestApplyEffectiveNoop(t *testing.T) {
+	db := twoRelDB(t)
+	next, delta, err := db.Apply([]Update{
+		{Relation: "E", Insert: []relation.Tuple{{0, 1}}, Delete: []relation.Tuple{{2, 0}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Empty() {
+		t.Fatalf("expected empty delta, got %v", delta.Relations())
+	}
+	if next != db {
+		t.Fatalf("no-op update did not return the receiver")
+	}
+	if next.Version() != 0 {
+		t.Fatalf("no-op update bumped the version to %d", next.Version())
+	}
+}
+
+func TestApplyDeleteThenInsertWins(t *testing.T) {
+	db := twoRelDB(t)
+	// Absent tuple in both lists: delete applies first, insert wins.
+	next, delta, err := db.Apply([]Update{
+		{Relation: "E", Insert: []relation.Tuple{{3, 3}}, Delete: []relation.Tuple{{3, 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, _ := next.RelValues("E")
+	if !e.Contains(relation.Tuple{3, 3}) {
+		t.Fatalf("insert did not win over delete of the same tuple")
+	}
+	if rd := delta.Rels["E"]; len(rd.Ins) != 1 || len(rd.Del) != 0 {
+		t.Fatalf("delta = +%v -%v, want one insert", rd.Ins, rd.Del)
+	}
+	// Present tuple in both lists: net no-op.
+	same, delta2, err := db.Apply([]Update{
+		{Relation: "E", Insert: []relation.Tuple{{0, 1}}, Delete: []relation.Tuple{{0, 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta2.Empty() || same != db {
+		t.Fatalf("present tuple in both lists should be a no-op")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	db := twoRelDB(t)
+	cases := []struct {
+		name string
+		ups  []Update
+		want string
+	}{
+		{"unknown relation", []Update{{Relation: "Q", Insert: []relation.Tuple{{0}}}}, "unknown relation"},
+		{"arity", []Update{{Relation: "E", Insert: []relation.Tuple{{0}}}}, "arity"},
+		{"domain", []Update{{Relation: "E", Insert: []relation.Tuple{{0, 9}}}}, "not in the domain"},
+		{"domain delete", []Update{{Relation: "P", Delete: []relation.Tuple{{17}}}}, "not in the domain"},
+	}
+	for _, tc := range cases {
+		_, _, err := db.Apply(tc.ups)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestApplyFingerprintLineage(t *testing.T) {
+	db := twoRelDB(t)
+	u := []Update{{Relation: "E", Insert: []relation.Tuple{{2, 3}, {3, 0}}}}
+	a1, _, err := db.Apply(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same update listed in a different order: same canonical delta, same
+	// lineage fingerprint.
+	a2, _, err := db.Apply([]Update{
+		{Relation: "E", Insert: []relation.Tuple{{3, 0}}},
+		{Relation: "E", Insert: []relation.Tuple{{2, 3}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1.Fingerprint() != a2.Fingerprint() {
+		t.Fatalf("equivalent updates produced distinct fingerprints")
+	}
+	// Chained updates keep changing the fingerprint.
+	b, _, err := a1.Apply([]Update{{Relation: "P", Insert: []relation.Tuple{{1}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Fingerprint() == a1.Fingerprint() || b.Version() != 2 {
+		t.Fatalf("chained update: fp %x vs %x, version %d", b.Fingerprint(), a1.Fingerprint(), b.Version())
+	}
+}

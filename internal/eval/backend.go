@@ -105,45 +105,60 @@ func cardOf(db *database.Database) func(string) int {
 // dense evaluation whose recursion-free low-density subtrees are computed
 // sparsely and cylindrified once at their boundary (Stats.RepSwitches).
 func EvalPlanContext(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options) (*relation.Set, *Stats, error) {
+	ans, st, _, err := evalPlanRouted(ctx, p, db, opts, nil, false)
+	return ans, st, err
+}
+
+// validatePlanRun is the shared entry validation of every plan evaluation.
+func validatePlanRun(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options) error {
 	if err := p.Query.Validate(signatureOf(db)); err != nil {
-		return nil, nil, err
+		return err
 	}
 	if err := checkDomain(db); err != nil {
-		return nil, nil, err
+		return err
 	}
 	if err := checkWidth(p.Query, opts); err != nil {
-		return nil, nil, err
+		return err
 	}
-	if err := checkCtx(ctx); err != nil {
-		return nil, nil, err
+	return checkCtx(ctx)
+}
+
+// evalPlanRouted validates, routes and runs a plan evaluation. Dense routes
+// thread the maintenance seed/capture through (maintain.go); sparse routes
+// return no state — maintenance is a dense-route optimization.
+func evalPlanRouted(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, seed *MaintState, capture bool) (*relation.Set, *Stats, *MaintState, error) {
+	if err := validatePlanRun(ctx, p, db, opts); err != nil {
+		return nil, nil, nil, err
 	}
 	den := p.Density(db.Size(), cardOf(db))
 	switch backendOf(opts) {
 	case BackendDense:
-		return evalPlanDense(ctx, p, db, opts, nil)
+		return evalPlanDenseMaint(ctx, p, db, opts, nil, seed, capture)
 	case BackendSparse:
 		if !den.SparseOK {
-			return nil, nil, fmt.Errorf("eval: sparse backend: %s", den.Blocker)
+			return nil, nil, nil, fmt.Errorf("eval: sparse backend: %s", den.Blocker)
 		}
-		return evalPlanSparse(ctx, p, db, opts, den)
+		ans, st, err := evalPlanSparse(ctx, p, db, opts, den)
+		return ans, st, nil, err
 	default:
 		if !den.SpaceFeasible {
 			if !den.SparseOK {
-				return nil, nil, fmt.Errorf("eval: dense space %d^%d exceeds %d bits and sparse evaluation is unavailable: %s",
+				return nil, nil, nil, fmt.Errorf("eval: dense space %d^%d exceeds %d bits and sparse evaluation is unavailable: %s",
 					db.Size(), len(p.Vars), relation.MaxDenseBits, den.Blocker)
 			}
-			return evalPlanSparse(ctx, p, db, opts, den)
+			ans, st, err := evalPlanSparse(ctx, p, db, opts, den)
+			return ans, st, nil, err
 		}
 		if den.PreferSparse() {
 			ans, st, err := evalPlanSparse(ctx, p, db, opts, den)
 			if err != nil && errors.Is(err, ErrSparseBudget) {
 				// The density estimate was wrong — the space is feasible, so
 				// rerun dense rather than failing a query dense could answer.
-				return evalPlanDense(ctx, p, db, opts, hybridDensity(den))
+				return evalPlanDenseMaint(ctx, p, db, opts, hybridDensity(den), seed, capture)
 			}
-			return ans, st, err
+			return ans, st, nil, err
 		}
-		return evalPlanDense(ctx, p, db, opts, hybridDensity(den))
+		return evalPlanDenseMaint(ctx, p, db, opts, hybridDensity(den), seed, capture)
 	}
 }
 

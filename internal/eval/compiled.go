@@ -68,9 +68,18 @@ func CompiledContext(ctx context.Context, q logic.Query, db *database.Database, 
 // low-density subtrees the run evaluates sparsely and cylindrifies at their
 // boundary (the hybrid frontier).
 func evalPlanDense(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density) (*relation.Set, *Stats, error) {
+	ans, st, _, err := evalPlanDenseMaint(ctx, p, db, opts, den, nil, false)
+	return ans, st, err
+}
+
+// evalPlanDenseMaint is evalPlanDense threading delta-restart maintenance
+// (maintain.go): seed, when non-nil, provides previous fixpoint stages the
+// seedable binders restart from; capture, when set on a maintainable plan,
+// records each seedable binder's final stage into the returned MaintState.
+func evalPlanDenseMaint(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density, seed *MaintState, capture bool) (*relation.Set, *Stats, *MaintState, error) {
 	sp, err := relation.NewSpace(len(p.Vars), db.Size())
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	r := &cpRun{
 		ctx:     ctx,
@@ -89,14 +98,24 @@ func evalPlanDense(ctx context.Context, p *plan.Plan, db *database.Database, opt
 		deltas:  make([]*relation.Dense, len(p.Nodes)),
 		binding: make([]*relation.Dense, p.NumBinders),
 	}
+	if seed != nil {
+		r.seed = seed.stages
+	}
+	if capture && p.Maint != nil && p.Maint.OK {
+		r.captured = make([]*relation.Set, p.NumBinders)
+	}
 	if par := parallelism(opts); par > 1 {
 		r.sem = make(chan struct{}, par-1)
 	}
 	d, err := r.evalNode(p.Root)
 	if err != nil {
-		return nil, r.stats, err
+		return nil, r.stats, nil, err
 	}
-	return d.Project(p.HeadAxes), r.stats, nil
+	var state *MaintState
+	if r.captured != nil {
+		state = &MaintState{stages: r.captured}
+	}
+	return d.Project(p.HeadAxes), r.stats, state, nil
 }
 
 // cpRun is one evaluation of a compiled plan. The PFP parameter sweep forks
@@ -133,6 +152,12 @@ type cpRun struct {
 	// binding[b] is binder b's current stage (extended arity for LFP/GFP/IFP,
 	// recursion-tuple arity for PFP).
 	binding []*relation.Dense
+	// seed[b], when non-nil, is a previous snapshot's final stage for a
+	// seedable binder: its LFP/IFP loop restarts from it instead of from ∅
+	// (delta-restart maintenance, maintain.go). captured, when allocated,
+	// receives each seedable binder's final stage as a sparse set.
+	seed     []*relation.Set
+	captured []*relation.Set
 }
 
 // fork returns a run for a PFP sweep worker: independent node cache and
@@ -346,9 +371,19 @@ func (r *cpRun) evalFix(n int) (*relation.Dense, error) {
 		}
 	}
 	var cur *relation.Dense
-	if fx.Op == logic.GFP {
+	switch {
+	case fx.Op == logic.GFP:
 		cur = esp.Full()
-	} else {
+	case r.seed != nil && b < len(r.seed) && r.seed[b] != nil:
+		// Delta-restart maintenance: resume the increasing chain from the
+		// previous snapshot's fixpoint instead of from ∅ (maintain.go). The
+		// first iteration is a full stage against the new database; later
+		// stages run semi-naive on whatever the delta added.
+		cur, err = r.seed[b].ToDense(esp)
+		if err != nil {
+			return nil, err
+		}
+	default:
 		cur = esp.Empty()
 	}
 	var delta *relation.Dense // non-nil once the semi-naive regime is active
@@ -434,6 +469,11 @@ func (r *cpRun) evalFix(n int) (*relation.Dense, error) {
 		}
 		cur.Release()
 		cur = next
+	}
+	if r.captured != nil && r.p.Maint.Seeded[b] {
+		// Seedable binders are hoisted, so this runs exactly once per
+		// evaluation: keep the final stage as the maintenance state.
+		r.captured[b] = cur.ToSet()
 	}
 	axes := make([]int, 0, len(fx.ArgAxes)+len(fx.ParamAxes))
 	axes = append(axes, fx.ArgAxes...)

@@ -200,6 +200,11 @@ type Stats struct {
 	// semijoin pipeline (acyclic conjunctive query under the sparse
 	// backend), 0 otherwise.
 	AcyclicFastPath int64
+	// MaintainedFromDelta is 1 when this evaluation restarted its fixpoint
+	// stage loops from a previous snapshot's fixpoints (EvalPlanMaintained)
+	// instead of recomputing from scratch, 0 otherwise. Aggregated by bvqd it
+	// counts answers maintained incrementally across database updates.
+	MaintainedFromDelta int64
 }
 
 func (s *Stats) addSubformulaEvals(d int64) {

@@ -177,6 +177,11 @@ type Plan struct {
 	// so stage deltas can be unioned through the dirty set.
 	DeltaOK []bool
 
+	// Maint is the incremental-maintenance profile (maintain.go): the
+	// relation footprint, the seedable binders, and per-relation delta
+	// polarity safety.
+	Maint *MaintInfo
+
 	// CSEHits counts hash-cons hits during compilation: subformula
 	// occurrences that were folded onto an existing node.
 	CSEHits int
@@ -623,6 +628,7 @@ func (p *Plan) analyze() {
 			p.DeltaOK[b] = ok
 		}
 	}
+	p.Maint = p.maintInfo()
 }
 
 func sortedKeys(m map[int]bool) []int {

@@ -1,0 +1,51 @@
+package relation
+
+// Tuple-level delta application, the relation substrate of mutable
+// databases: a database update is normalized into per-relation insert and
+// delete tuple lists (database.Delta), and each representation applies them
+// without rebuilding from scratch. Deletes apply before inserts, so a tuple
+// appearing in both lists ends up present — the update semantics documented
+// on database.Database.Apply.
+
+// ApplyDelta returns a new set equal to (s \ del) ∪ ins. The receiver is not
+// modified — database snapshots share unchanged relations, so mutation must
+// be copy-on-write — and the returned set shares tuple storage with s and
+// ins (tuples are treated as immutable everywhere in this package).
+func (s *Set) ApplyDelta(ins, del []Tuple) *Set {
+	out := s.Clone()
+	for _, t := range del {
+		out.Remove(t)
+	}
+	for _, t := range ins {
+		out.Add(t)
+	}
+	return out
+}
+
+// ApplyTuples applies a delta to a dense relation in place: del tuples are
+// cleared, then ins tuples set. Tuples are in the relation's own coordinate
+// space (domain indices); out-of-range components panic via Space.Encode,
+// matching Add/Remove.
+func (d *Dense) ApplyTuples(ins, del []Tuple) {
+	for _, t := range del {
+		d.Remove(t)
+	}
+	for _, t := range ins {
+		d.Add(t)
+	}
+}
+
+// ApplyDelta returns a new sparse relation equal to (s \ del) ∪ ins, built
+// by two sorted-code merges. The receiver is unchanged; errors report tuples
+// outside the relation's k/n shape.
+func (s *Sparse) ApplyDelta(ins, del []Tuple) (*Sparse, error) {
+	delRel, err := SparseOf(s.k, s.n, del...)
+	if err != nil {
+		return nil, err
+	}
+	insRel, err := SparseOf(s.k, s.n, ins...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Difference(delRel).Union(insRel), nil
+}

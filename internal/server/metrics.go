@@ -20,6 +20,10 @@ type serverMetrics struct {
 	slow     *metrics.Counter      // bvqd_slow_queries_total
 	statuses *metrics.CounterVec   // bvqd_responses_total{code}
 	backends *metrics.CounterVec   // bvqd_queries_by_backend_total{backend}
+
+	updates       *metrics.Counter    // bvqd_updates_total
+	maintained    *metrics.Counter    // bvqd_maintained_results_total
+	invalidations *metrics.CounterVec // bvqd_cache_invalidations_total{reason}
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -39,7 +43,17 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Responses to /query by HTTP status code.", "code"),
 		backends: r.NewCounterVec("bvqd_queries_by_backend_total",
 			"Requests by requested relation backend (auto, dense, sparse).", "backend"),
+		updates: r.NewCounter("bvqd_updates_total",
+			"Effective database updates applied via /db/{name}/update."),
+		maintained: r.NewCounter("bvqd_maintained_results_total",
+			"Cached results incrementally maintained from an update delta."),
+		invalidations: r.NewCounterVec("bvqd_cache_invalidations_total",
+			"Cached results dropped during update triage, by reason.", "reason"),
 	}
+
+	r.NewCounterFunc("bvqd_carried_results_total",
+		"Cached results rekeyed unchanged because their footprint missed the delta.",
+		s.carriedResults.Load)
 
 	r.NewCounterFunc("bvqd_queries_total",
 		"Requests received on /query.", s.queries.Load)
@@ -126,6 +140,8 @@ func statusLabel(code int) string {
 		return "400"
 	case 404:
 		return "404"
+	case 409:
+		return "409"
 	case 422:
 		return "422"
 	case 429:

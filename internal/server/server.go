@@ -10,7 +10,7 @@
 //     query text;
 //   - whole evaluations, memoized in an LRU result cache keyed by
 //     (database fingerprint, engine, options, query text) — sound because
-//     databases are immutable and engines deterministic;
+//     database snapshots are immutable values and engines deterministic;
 //   - concurrent identical requests, coalesced by single-flight dedup so a
 //     thundering herd costs one evaluation.
 //
@@ -31,9 +31,17 @@
 //     answered 500 — it never takes down the daemon or strands coalesced
 //     followers.
 //
-// Endpoints: POST /query (JSON in/out), GET /stats (JSON counters),
-// GET /metrics (Prometheus text), GET /healthz. The package is stdlib-only;
-// cmd/bvqd is the thin main.
+// Databases are served as MVCC snapshots: POST /db/{name}/update applies
+// tuple-level inserts and deletes (database.Apply), atomically swapping in a
+// new snapshot while in-flight queries finish against the old one. The
+// update path triages the result cache by dependency footprint — carrying
+// disjoint entries to the new fingerprint, re-deriving maintainable ones by
+// delta-restart (eval.EvalPlanMaintained), dropping the rest — and never
+// touches the plan cache, which is keyed by query text alone (update.go).
+//
+// Endpoints: POST /query (JSON in/out), POST /db/{name}/update (tuple-level
+// mutation), GET /stats (JSON counters), GET /metrics (Prometheus text),
+// GET /healthz. The package is stdlib-only; cmd/bvqd is the thin main.
 package server
 
 import (
@@ -116,6 +124,7 @@ type Server struct {
 	dbs     map[string]*namedDB
 	plans   *cache.PlanCache
 	results *cache.ResultCache
+	index   *cache.Index
 	flight  *cache.Flight[evalOutcome]
 	limiter *limiter
 	metrics *serverMetrics
@@ -143,13 +152,32 @@ type Server struct {
 	repSwitches     atomic.Int64 // sparse→dense hybrid-frontier conversions
 	acyclicFast     atomic.Int64 // queries answered by the Yannakakis fast path
 
+	updates            atomic.Int64 // effective updates accepted on /db/{name}/update
+	carriedResults     atomic.Int64 // cached results rekeyed across updates untouched
+	maintainedResults  atomic.Int64 // cached results re-derived by delta-restart
+	invalidatedResults atomic.Int64 // cached results dropped by updates
+
 	// testHookBeforeEval, when set, runs inside the evaluation closure after
 	// admission, before the engine. Tests use it to inject panics and to
 	// hold evaluation slots open.
 	testHookBeforeEval func()
 }
 
+// namedDB is one served database lineage. Queries load the current snapshot
+// once (an atomic pointer read) and evaluate against it for their whole
+// lifetime — an update concurrently swapping the pointer never disturbs them
+// (MVCC snapshot isolation, database.Apply). mu serializes updates and result
+// registration: a result computed against a superseded snapshot must not
+// enter the cache or the churn index, where a later update would wrongly
+// carry it forward.
 type namedDB struct {
+	name string
+	mu   sync.Mutex
+	snap atomic.Pointer[dbSnap]
+}
+
+// dbSnap pairs a snapshot with its fingerprint (computed once per swap).
+type dbSnap struct {
 	db *database.Database
 	fp uint64
 }
@@ -186,6 +214,7 @@ func New(cfg Config) (*Server, error) {
 		dbs:            make(map[string]*namedDB, len(cfg.Databases)),
 		plans:          cache.NewPlanCache(max(planSize, 0)),
 		results:        cache.NewResultCache(max(resultSize, 0)),
+		index:          cache.NewIndex(max(resultSize, 0)),
 		flight:         cache.NewFlight[evalOutcome](),
 		limiter:        newLimiter(cfg.MaxConcurrentEvals, cfg.MaxEvalQueue),
 		logger:         logger,
@@ -199,7 +228,9 @@ func New(cfg Config) (*Server, error) {
 		if name == "" || db == nil {
 			return nil, fmt.Errorf("server: invalid database entry %q", name)
 		}
-		s.dbs[name] = &namedDB{db: db, fp: db.Fingerprint()}
+		nd := &namedDB{name: name}
+		nd.snap.Store(&dbSnap{db: db, fp: db.Fingerprint()})
+		s.dbs[name] = nd
 	}
 	// Last: the metric collectors close over the fields initialized above.
 	s.metrics = newServerMetrics(s)
@@ -212,6 +243,7 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /db/{name}/update", s.handleUpdate)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.metrics.registry.ServeHTTP)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -349,6 +381,10 @@ type StatsJSON struct {
 	TuplesTouched   int64 `json:"tuples_touched,omitempty"`
 	RepSwitches     int64 `json:"rep_switches,omitempty"`
 	AcyclicFastPath int64 `json:"acyclic_fast_path,omitempty"`
+	// MaintainedFromDelta is 1 when the run that produced this answer was a
+	// delta-restart maintenance run (the cached result was re-derived after
+	// an update rather than recomputed from scratch).
+	MaintainedFromDelta int64 `json:"maintained_from_delta,omitempty"`
 }
 
 func statsJSON(st *eval.Stats) *StatsJSON {
@@ -365,6 +401,7 @@ func statsJSON(st *eval.Stats) *StatsJSON {
 		TuplesTouched:         st.TuplesTouched,
 		RepSwitches:           st.RepSwitches,
 		AcyclicFastPath:       st.AcyclicFastPath,
+		MaintainedFromDelta:   st.MaintainedFromDelta,
 	}
 }
 
@@ -428,6 +465,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fail(http.StatusNotFound, fmt.Errorf("unknown database %q", req.Database), nil)
 		return
 	}
+	// One atomic load pins this request's snapshot: concurrent updates swap
+	// the pointer but never touch the snapshot value itself, so everything
+	// below — evaluation, cache keys, answer rendering — is consistent.
+	snap := nd.snap.Load()
 	engineName = req.Engine
 	if engineName == "" {
 		engineName = bvq.EngineBottomUp.String()
@@ -498,7 +539,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The tracer is excluded from the result key (it never changes the
 	// answer), so traced and untraced runs share cache entries.
-	key := cache.ResultKey(nd.fp, engineName, opts, req.Query)
+	key := cache.ResultKey(snap.fp, engineName, opts, req.Query)
 
 	resp := QueryResponse{
 		RequestID:  reqID,
@@ -560,11 +601,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// surfaces the real error.
 			var ans *bvq.Relation
 			var st *eval.Stats
+			var mstate *eval.MaintState
 			var eerr error
 			if engine == bvq.EngineCompiled && pl.Prepared != nil {
-				ans, st, eerr = eval.EvalPlanContext(ctx, pl.Prepared, nd.db, opts)
+				// Capture maintenance state alongside the answer: if an
+				// update later touches this query's footprint, the cached
+				// result can be re-derived by delta-restart instead of being
+				// dropped (update.go).
+				ans, st, mstate, eerr = eval.EvalPlanCapture(ctx, pl.Prepared, snap.db, opts)
 			} else {
-				ans, st, eerr = bvq.EvalStatsContext(ctx, pl.Query, nd.db, engine, opts)
+				ans, st, eerr = bvq.EvalStatsContext(ctx, pl.Query, snap.db, engine, opts)
 			}
 			// Fold this run's work — complete or partial — into the
 			// aggregate gauges before anything is shared or cached.
@@ -576,7 +622,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				s.acyclicFast.Add(st.AcyclicFastPath)
 			}
 			if eerr == nil && !req.NoCache {
-				s.results.Put(key, cache.Result{Answer: ans, Stats: st})
+				tracked := &cache.Tracked{
+					Key:    key,
+					Engine: engineName,
+					Query:  req.Query,
+					// A sanitized copy: the key-relevant fields only, never
+					// the live request Options (whose Tracer must not outlive
+					// this run).
+					Opts: &eval.Options{MaxWidth: opts.MaxWidth, Backend: opts.Backend,
+						PFPBudget: opts.PFPBudget, PFPCycle: opts.PFPCycle, SparseBudget: opts.SparseBudget},
+				}
+				if pl.Prepared != nil && pl.Prepared.Maint != nil {
+					// The footprint is a property of the query, so it lets
+					// results from ANY engine ride out disjoint deltas;
+					// maintenance state is captured by compiled runs only.
+					tracked.Footprint = pl.Prepared.Maint.Rels
+					if engine == bvq.EngineCompiled {
+						tracked.Plan = pl.Prepared
+						tracked.State = mstate // nil when the run took a sparse route
+					}
+				}
+				s.storeResult(nd, snap, key, cache.Result{Answer: ans, Stats: st}, tracked)
 			}
 			return evalOutcome{answer: ans, stats: st, err: eerr}, eerr
 		}
@@ -628,7 +694,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				if req.Indices {
 					row[j] = v
 				} else {
-					row[j] = nd.db.Value(v)
+					row[j] = snap.db.Value(v)
 				}
 			}
 			resp.Answer[i] = row
@@ -677,14 +743,36 @@ type StatsResponse struct {
 	InFlight      InFlightStats      `json:"in_flight"`
 	PlanCache     CacheStats         `json:"plan_cache"`
 	ResultCache   CacheStats         `json:"result_cache"`
+	Churn         ChurnStats         `json:"churn"`
 	Eval          AggregateEvalStats `json:"eval"`
 }
 
-// DBStats describes one served database.
+// ChurnStats reports how updates and the result cache interact: per cached
+// entry at each effective update, exactly one of carried / maintained /
+// invalidated is counted (entries already evicted by the LRU count nowhere).
+type ChurnStats struct {
+	// Updates counts effective updates accepted on /db/{name}/update
+	// (no-ops excluded).
+	Updates int64 `json:"updates"`
+	// Carried counts results rekeyed to a new snapshot untouched because
+	// their dependency footprint was disjoint from the delta.
+	Carried int64 `json:"carried"`
+	// Maintained counts results re-derived by delta-restart maintenance
+	// instead of being dropped.
+	Maintained int64 `json:"maintained"`
+	// Invalidated counts results dropped; the per-reason split is on
+	// /metrics (bvqd_cache_invalidations_total).
+	Invalidated int64 `json:"invalidated"`
+}
+
+// DBStats describes one served database snapshot.
 type DBStats struct {
 	DomainSize  int      `json:"domain_size"`
 	Relations   []string `json:"relations"`
 	Fingerprint string   `json:"fingerprint"`
+	// Version counts the effective updates applied since the database was
+	// loaded (0 = never updated).
+	Version uint64 `json:"version"`
 }
 
 // InFlightStats are the live gauges.
@@ -724,12 +812,14 @@ func (s *Server) Stats() StatsResponse {
 	rh, rm, re := s.results.Counters()
 	dbs := make(map[string]DBStats, len(s.dbs))
 	for name, nd := range s.dbs {
-		rels := nd.db.Names()
+		snap := nd.snap.Load()
+		rels := snap.db.Names()
 		sort.Strings(rels)
 		dbs[name] = DBStats{
-			DomainSize:  nd.db.Size(),
+			DomainSize:  snap.db.Size(),
 			Relations:   rels,
-			Fingerprint: fmt.Sprintf("%016x", nd.fp),
+			Fingerprint: fmt.Sprintf("%016x", snap.fp),
+			Version:     snap.db.Version(),
 		}
 	}
 	return StatsResponse{
@@ -749,6 +839,12 @@ func (s *Server) Stats() StatsResponse {
 		},
 		PlanCache:   CacheStats{Size: s.plans.Len(), Hits: ph, Misses: pm, Evictions: pe},
 		ResultCache: CacheStats{Size: s.results.Len(), Hits: rh, Misses: rm, Evictions: re},
+		Churn: ChurnStats{
+			Updates:     s.updates.Load(),
+			Carried:     s.carriedResults.Load(),
+			Maintained:  s.maintainedResults.Load(),
+			Invalidated: s.invalidatedResults.Load(),
+		},
 		Eval: AggregateEvalStats{
 			SubformulaEvals: s.subformulaEvals.Load(),
 			FixIterations:   s.fixIterations.Load(),

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/database"
+	"repro/internal/eval"
+	"repro/internal/relation"
+)
+
+// UpdateRequest is the /db/{name}/update request body: a batch of tuple-level
+// inserts and deletes applied as one atomic snapshot transition.
+type UpdateRequest struct {
+	// Updates lists per-relation changes. Within the whole batch, deletes
+	// apply before inserts, so a tuple in both lists ends up present.
+	Updates []UpdateEntry `json:"updates"`
+	// Indices interprets tuple components as domain indices 0..n−1 instead
+	// of raw domain values (the /query "indices" convention).
+	Indices bool `json:"indices,omitempty"`
+	// BaseVersion, when set, makes the update conditional: if the database's
+	// current version differs, nothing is applied and the response is 409
+	// (optimistic concurrency for read-modify-write clients).
+	BaseVersion *uint64 `json:"base_version,omitempty"`
+}
+
+// UpdateEntry is one relation's changes in an UpdateRequest.
+type UpdateEntry struct {
+	Relation string  `json:"relation"`
+	Insert   [][]int `json:"insert,omitempty"`
+	Delete   [][]int `json:"delete,omitempty"`
+}
+
+// UpdateResponse is the /db/{name}/update success body.
+type UpdateResponse struct {
+	RequestID string `json:"request_id"`
+	Database  string `json:"database"`
+	// FromVersion and Version are the snapshot versions before and after;
+	// equal (with Noop set) when the batch changed nothing effectively.
+	FromVersion uint64 `json:"from_version"`
+	Version     uint64 `json:"version"`
+	// Fingerprint is the new snapshot's content fingerprint — the value
+	// /query result-cache keys are minted against.
+	Fingerprint string `json:"fingerprint"`
+	Noop        bool   `json:"noop,omitempty"`
+	// Relations lists the effectively changed relations; Inserted/Deleted
+	// count effective tuple changes (no-op inserts/deletes excluded).
+	Relations []string `json:"relations"`
+	Inserted  int      `json:"inserted"`
+	Deleted   int      `json:"deleted"`
+	// Cache reports the result-cache triage this update performed.
+	Cache     UpdateCacheJSON `json:"cache"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+}
+
+// UpdateCacheJSON is the per-update result-cache triage: every tracked entry
+// was carried (footprint disjoint from the delta), maintained (re-derived by
+// delta-restart) or invalidated (dropped).
+type UpdateCacheJSON struct {
+	Carried     int `json:"carried"`
+	Maintained  int `json:"maintained"`
+	Invalidated int `json:"invalidated"`
+}
+
+// handleUpdate applies a tuple-level update batch to a served database:
+// validate the wire payload (400 naming the offending field), check the
+// optional base_version (409 on mismatch), build the new snapshot
+// (database.Apply), triage the result cache against the delta, and only then
+// swap the snapshot pointer — queries admitted before the swap finish on the
+// old snapshot, queries after it see the new one, and nobody ever observes a
+// half-updated cache for the new fingerprint.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	reqID := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+	w.Header().Set("X-Request-Id", reqID)
+
+	name := r.PathValue("name")
+	fail := func(code int, err error) {
+		s.metrics.statuses.With(statusLabel(code)).Inc()
+		s.fail(w, code, err, nil, reqID)
+	}
+
+	nd, ok := s.dbs[name]
+	if !ok {
+		fail(http.StatusNotFound, fmt.Errorf("unknown database %q", name))
+		return
+	}
+
+	var req UpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		fail(http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if len(req.Updates) == 0 {
+		fail(http.StatusBadRequest, fmt.Errorf("updates: must contain at least one entry"))
+		return
+	}
+	// Validate against the current snapshot. Signature, domain and index map
+	// are fixed per lineage, so a concurrent update cannot un-validate what
+	// passes here.
+	ups, err := convertUpdates(nd.snap.Load().db, req.Updates, req.Indices)
+	if err != nil {
+		fail(http.StatusBadRequest, err)
+		return
+	}
+
+	// The snapshot lock serializes updates with each other and with result
+	// registration: the triage below reasons about exactly one delta.
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	snap := nd.snap.Load()
+	if req.BaseVersion != nil && *req.BaseVersion != snap.db.Version() {
+		fail(http.StatusConflict, fmt.Errorf("base_version %d does not match current version %d",
+			*req.BaseVersion, snap.db.Version()))
+		return
+	}
+	next, delta, err := snap.db.Apply(ups)
+	if err != nil {
+		// Unreachable after convertUpdates, kept as a guard.
+		fail(http.StatusBadRequest, err)
+		return
+	}
+
+	resp := UpdateResponse{
+		RequestID:   reqID,
+		Database:    name,
+		FromVersion: delta.FromVersion,
+		Version:     delta.Version,
+		Relations:   delta.Relations(),
+	}
+	resp.Inserted, resp.Deleted = delta.Counts()
+	if delta.Empty() {
+		resp.Noop = true
+		resp.Fingerprint = fmt.Sprintf("%016x", snap.fp)
+		resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+		s.metrics.statuses.With("200").Inc()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	newSnap := &dbSnap{db: next, fp: next.Fingerprint()}
+	resp.Cache = s.triageResults(r, nd, newSnap, delta)
+	// Swap last: the cache for the new fingerprint is fully populated before
+	// any query can mint a key against it — no cold-cache window.
+	nd.snap.Store(newSnap)
+
+	s.updates.Add(1)
+	s.metrics.updates.Inc()
+	resp.Fingerprint = fmt.Sprintf("%016x", newSnap.fp)
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.metrics.statuses.With("200").Inc()
+	s.logger.LogAttrs(r.Context(), slog.LevelInfo, "database updated",
+		slog.String("request_id", reqID),
+		slog.String("database", name),
+		slog.Uint64("version", resp.Version),
+		slog.Int("inserted", resp.Inserted),
+		slog.Int("deleted", resp.Deleted),
+		slog.Int("carried", resp.Cache.Carried),
+		slog.Int("maintained", resp.Cache.Maintained),
+		slog.Int("invalidated", resp.Cache.Invalidated))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// convertUpdates validates the wire entries against db and converts them to
+// database.Update values (raw domain values). Errors name the offending wire
+// field, e.g. "updates[1].insert[0]: ...".
+func convertUpdates(db *database.Database, entries []UpdateEntry, indices bool) ([]database.Update, error) {
+	out := make([]database.Update, 0, len(entries))
+	for i, e := range entries {
+		if e.Relation == "" {
+			return nil, fmt.Errorf("updates[%d].relation: missing relation name", i)
+		}
+		arity, err := db.Arity(e.Relation)
+		if err != nil {
+			return nil, fmt.Errorf("updates[%d].relation: unknown relation %q", i, e.Relation)
+		}
+		conv := func(field string, rows [][]int) ([]relation.Tuple, error) {
+			ts := make([]relation.Tuple, 0, len(rows))
+			for j, row := range rows {
+				if len(row) != arity {
+					return nil, fmt.Errorf("updates[%d].%s[%d]: relation %q has arity %d, got %d components",
+						i, field, j, e.Relation, arity, len(row))
+				}
+				t := make(relation.Tuple, len(row))
+				for c, v := range row {
+					if indices {
+						if v < 0 || v >= db.Size() {
+							return nil, fmt.Errorf("updates[%d].%s[%d]: index %d out of range [0,%d)",
+								i, field, j, v, db.Size())
+						}
+						t[c] = db.Value(v)
+						continue
+					}
+					if _, ok := db.Index(v); !ok {
+						return nil, fmt.Errorf("updates[%d].%s[%d]: value %d is not in the domain (domains are fixed per database)",
+							i, field, j, v)
+					}
+					t[c] = v
+				}
+				ts = append(ts, t)
+			}
+			return ts, nil
+		}
+		up := database.Update{Relation: e.Relation}
+		if up.Insert, err = conv("insert", e.Insert); err != nil {
+			return nil, err
+		}
+		if up.Delete, err = conv("delete", e.Delete); err != nil {
+			return nil, err
+		}
+		out = append(out, up)
+	}
+	return out, nil
+}
+
+// triageResults walks every tracked result of nd and decides its fate under
+// delta, populating the cache for the new snapshot BEFORE it is swapped in.
+// Called with nd.mu held.
+func (s *Server) triageResults(r *http.Request, nd *namedDB, newSnap *dbSnap, delta *database.Delta) UpdateCacheJSON {
+	var out UpdateCacheJSON
+	changed := delta.Relations()
+	drop := func(t *cache.Tracked, reason string) {
+		s.results.Remove(t.Key)
+		s.invalidatedResults.Add(1)
+		s.metrics.invalidations.With(reason).Inc()
+		out.Invalidated++
+	}
+	for _, t := range s.index.Take(nd.name) {
+		res, live := s.results.Get(t.Key)
+		if !live {
+			continue // evicted since registration: nothing to triage
+		}
+		if !t.Overlaps(changed) {
+			// Untouched footprint: the answer is provably unchanged, move the
+			// entry to the new fingerprint.
+			s.results.Remove(t.Key)
+			t.Key = cache.ResultKey(newSnap.fp, t.Engine, t.Opts, t.Query)
+			s.results.Put(t.Key, res)
+			s.index.Register(nd.name, t)
+			s.carriedResults.Add(1)
+			out.Carried++
+			continue
+		}
+		if t.Plan == nil || t.State == nil {
+			reason := "no_plan"
+			if t.Footprint == nil {
+				reason = "unknown_footprint"
+			}
+			drop(t, reason)
+			continue
+		}
+		if !eval.CanMaintain(t.Plan, delta) {
+			drop(t, "delta_polarity")
+			continue
+		}
+		// Eager delta-restart maintenance against the new snapshot, while
+		// queries still run on the old one: the maintained answer is in the
+		// cache before the swap, so the entry never goes cold.
+		ans, st, state, err := eval.EvalPlanMaintained(r.Context(), t.Plan, newSnap.db, t.Opts, t.State)
+		if err != nil {
+			drop(t, "maintenance_failed")
+			continue
+		}
+		if st != nil {
+			s.subformulaEvals.Add(st.SubformulaEvals)
+			s.fixIterations.Add(st.FixIterations)
+		}
+		s.results.Remove(t.Key)
+		t.Key = cache.ResultKey(newSnap.fp, t.Engine, t.Opts, t.Query)
+		t.State = state
+		s.results.Put(t.Key, cache.Result{Answer: ans, Stats: st})
+		s.index.Register(nd.name, t)
+		s.maintainedResults.Add(1)
+		s.metrics.maintained.Inc()
+		out.Maintained++
+	}
+	return out
+}
+
+// storeResult caches a finished evaluation and registers its churn tracking,
+// unless the database snapshot moved on while the evaluation ran — a stale
+// entry must not enter the index, where the next update would carry or
+// maintain it from a baseline that missed a delta.
+func (s *Server) storeResult(nd *namedDB, snap *dbSnap, key string, res cache.Result, t *cache.Tracked) {
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.snap.Load().fp != snap.fp {
+		return // superseded mid-evaluation; the key is already unreachable
+	}
+	s.results.Put(key, res)
+	s.index.Register(nd.name, t)
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/database"
+)
+
+// chainDB is 1→2→3 with isolated nodes 4, 5 and P = {1} — small enough that
+// inserting E(3,4) visibly grows the reachable set.
+func chainDB(t testing.TB) *database.Database {
+	t.Helper()
+	db, err := database.Parse(`
+domain = {1, 2, 3, 4, 5}
+E/2 = {(1, 2), (2, 3)}
+P/1 = {(1)}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func postUpdate(t testing.TB, ts *httptest.Server, db string, req UpdateRequest) (int, UpdateResponse, ErrorResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, raw := postUpdateRaw(t, ts, db, body)
+	var ok UpdateResponse
+	var bad ErrorResponse
+	if code == http.StatusOK {
+		if err := json.Unmarshal(raw, &ok); err != nil {
+			t.Fatalf("decoding %q: %v", raw, err)
+		}
+	} else if err := json.Unmarshal(raw, &bad); err != nil {
+		t.Fatalf("decoding error body %q: %v", raw, err)
+	}
+	return code, ok, bad
+}
+
+func postUpdateRaw(t testing.TB, ts *httptest.Server, db string, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/db/"+db+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+func TestUpdateBasic(t *testing.T) {
+	_, ts := newTestServer(t, Config{Databases: map[string]*database.Database{"chain": chainDB(t)}})
+
+	reach := "(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)"
+	code, q, _ := postQuery(t, ts, QueryRequest{Database: "chain", Query: reach})
+	if code != http.StatusOK || fmt.Sprint(q.Answer) != "[[1] [2] [3]]" {
+		t.Fatalf("pre-update reach: status %d answer %v", code, q.Answer)
+	}
+
+	code, up, _ := postUpdate(t, ts, "chain", UpdateRequest{
+		Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{3, 4}}}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("update: status %d", code)
+	}
+	if up.Version != 1 || up.FromVersion != 0 || up.Inserted != 1 || up.Deleted != 0 || up.Noop {
+		t.Fatalf("update response %+v", up)
+	}
+	if !reflect.DeepEqual(up.Relations, []string{"E"}) {
+		t.Fatalf("changed relations %v", up.Relations)
+	}
+
+	code, q, _ = postQuery(t, ts, QueryRequest{Database: "chain", Query: reach})
+	if code != http.StatusOK || fmt.Sprint(q.Answer) != "[[1] [2] [3] [4]]" {
+		t.Fatalf("post-update reach: status %d answer %v", code, q.Answer)
+	}
+
+	// Re-inserting a present tuple and deleting an absent one is an
+	// effective no-op: no version bump, same fingerprint.
+	code, noop, _ := postUpdate(t, ts, "chain", UpdateRequest{
+		Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{3, 4}}, Delete: [][]int{{5, 5}}}},
+	})
+	if code != http.StatusOK || !noop.Noop || noop.Version != 1 || noop.Fingerprint != up.Fingerprint {
+		t.Fatalf("noop update: status %d resp %+v", code, noop)
+	}
+
+	st := getStats(t, ts)
+	if st.Churn.Updates != 1 {
+		t.Fatalf("churn stats %+v", st.Churn)
+	}
+	if got := st.Databases["chain"].Version; got != 1 {
+		t.Fatalf("database version %d", got)
+	}
+}
+
+func TestUpdateIndicesMode(t *testing.T) {
+	// graphDB's domain is {10,20,30,40}; in indices mode tuple components
+	// are positions 0..3, so inserting (3,0) means E(40,10).
+	_, ts := newTestServer(t, Config{})
+	code, up, _ := postUpdate(t, ts, "graph", UpdateRequest{
+		Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{3, 0}}}},
+		Indices: true,
+	})
+	if code != http.StatusOK || up.Inserted != 1 {
+		t.Fatalf("indices update: status %d resp %+v", code, up)
+	}
+	code, q, _ := postQuery(t, ts, QueryRequest{Database: "graph", Query: "(x, y). E(x, y)"})
+	if code != http.StatusOK || fmt.Sprint(q.Answer) != "[[10 20] [20 30] [30 40] [40 10]]" {
+		t.Fatalf("edges after indices insert: %v", q.Answer)
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	v7 := uint64(7)
+	cases := []struct {
+		name string
+		db   string
+		req  UpdateRequest
+		code int
+		want string
+	}{
+		{"unknown database", "nosuch",
+			UpdateRequest{Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{10, 20}}}}},
+			http.StatusNotFound, `unknown database "nosuch"`},
+		{"empty batch", "graph", UpdateRequest{},
+			http.StatusBadRequest, "updates: must contain at least one entry"},
+		{"missing relation name", "graph",
+			UpdateRequest{Updates: []UpdateEntry{{Insert: [][]int{{10, 20}}}}},
+			http.StatusBadRequest, "updates[0].relation: missing relation name"},
+		{"unknown relation", "graph",
+			UpdateRequest{Updates: []UpdateEntry{{Relation: "Q", Insert: [][]int{{10}}}}},
+			http.StatusBadRequest, `updates[0].relation: unknown relation "Q"`},
+		{"insert arity", "graph",
+			UpdateRequest{Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{10, 20}, {10}}}}},
+			http.StatusBadRequest, `updates[0].insert[1]: relation "E" has arity 2, got 1 components`},
+		{"delete arity", "graph",
+			UpdateRequest{Updates: []UpdateEntry{{Relation: "P", Delete: [][]int{{10, 20}}}}},
+			http.StatusBadRequest, `updates[0].delete[0]: relation "P" has arity 1, got 2 components`},
+		{"out-of-domain value", "graph",
+			UpdateRequest{Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{10, 99}}}}},
+			http.StatusBadRequest, "updates[0].insert[0]: value 99 is not in the domain"},
+		{"second entry named", "graph",
+			UpdateRequest{Updates: []UpdateEntry{
+				{Relation: "E", Insert: [][]int{{10, 20}}},
+				{Relation: "P", Delete: [][]int{{99}}},
+			}},
+			http.StatusBadRequest, "updates[1].delete[0]: value 99 is not in the domain"},
+		{"index out of range", "graph",
+			UpdateRequest{Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{0, 4}}}}, Indices: true},
+			http.StatusBadRequest, "updates[0].insert[0]: index 4 out of range [0,4)"},
+		{"base_version mismatch", "graph",
+			UpdateRequest{Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{40, 10}}}}, BaseVersion: &v7},
+			http.StatusConflict, "base_version 7 does not match current version 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, bad := postUpdate(t, ts, tc.db, tc.req)
+			if code != tc.code {
+				t.Fatalf("status %d, want %d (error %q)", code, tc.code, bad.Error)
+			}
+			if !strings.Contains(bad.Error, tc.want) {
+				t.Fatalf("error %q does not name the field: want %q", bad.Error, tc.want)
+			}
+		})
+	}
+
+	// A rejected update must not have mutated anything.
+	if st := getStats(t, ts); st.Churn.Updates != 0 || st.Databases["graph"].Version != 0 {
+		t.Fatalf("failed updates changed state: %+v", st.Churn)
+	}
+
+	t.Run("unknown JSON field", func(t *testing.T) {
+		code, raw := postUpdateRaw(t, ts, "graph", []byte(`{"updates":[],"bogus":1}`))
+		if code != http.StatusBadRequest {
+			t.Fatalf("status %d body %s", code, raw)
+		}
+	})
+	t.Run("malformed JSON", func(t *testing.T) {
+		code, _ := postUpdateRaw(t, ts, "graph", []byte(`{"updates":`))
+		if code != http.StatusBadRequest {
+			t.Fatalf("status %d", code)
+		}
+	})
+
+	// base_version match succeeds.
+	v0 := uint64(0)
+	code, up, bad := postUpdate(t, ts, "graph", UpdateRequest{
+		Updates:     []UpdateEntry{{Relation: "E", Insert: [][]int{{40, 10}}}},
+		BaseVersion: &v0,
+	})
+	if code != http.StatusOK || up.Version != 1 {
+		t.Fatalf("conditional update: status %d resp %+v err %q", code, up, bad.Error)
+	}
+}
+
+// TestUpdateCacheChurn exercises the three triage outcomes on one update:
+// a result whose footprint misses the delta is carried, a compiled result
+// with maintenance state is maintained (and visibly reflects the delta), and
+// an uncompiled-engine result on a touched footprint is invalidated. The plan
+// cache must survive all of it.
+func TestUpdateCacheChurn(t *testing.T) {
+	_, ts := newTestServer(t, Config{Databases: map[string]*database.Database{"chain": chainDB(t)}})
+
+	reach := "(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)"
+	pOnly := "(x). P(x)"
+
+	mustQuery := func(query, engine string) QueryResponse {
+		t.Helper()
+		code, q, bad := postQuery(t, ts, QueryRequest{Database: "chain", Query: query, Engine: engine})
+		if code != http.StatusOK {
+			t.Fatalf("query %q engine %q: status %d err %q", query, engine, code, bad.Error)
+		}
+		return q
+	}
+	mustQuery(reach, "compiled") // maintainable: compiled plan + captured state
+	mustQuery(pOnly, "compiled") // footprint {P}: disjoint from an E-only delta
+	mustQuery(reach, "bottomup") // overlapping footprint, no plan: invalidated
+
+	code, up, _ := postUpdate(t, ts, "chain", UpdateRequest{
+		Updates: []UpdateEntry{{Relation: "E", Insert: [][]int{{3, 4}}}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("update: status %d", code)
+	}
+	if up.Cache.Carried != 1 || up.Cache.Maintained != 1 || up.Cache.Invalidated != 1 {
+		t.Fatalf("triage %+v", up.Cache)
+	}
+
+	// The maintained entry serves from cache, reflects the inserted edge, and
+	// carries the maintenance run's statistics.
+	q := mustQuery(reach, "compiled")
+	if !q.ResultCached {
+		t.Fatalf("maintained reach not served from cache: %+v", q)
+	}
+	if fmt.Sprint(q.Answer) != "[[1] [2] [3] [4]]" {
+		t.Fatalf("maintained reach answer %v", q.Answer)
+	}
+	if q.Stats == nil || q.Stats.MaintainedFromDelta != 1 {
+		t.Fatalf("maintained reach stats %+v", q.Stats)
+	}
+
+	// The carried entry is a cache hit too; the invalidated one re-evaluates
+	// but still hits the plan cache (plans are keyed by text, not snapshot).
+	if q := mustQuery(pOnly, "compiled"); !q.ResultCached {
+		t.Fatalf("carried P query missed the cache: %+v", q)
+	}
+	q = mustQuery(reach, "bottomup")
+	if q.ResultCached || !q.PlanCached {
+		t.Fatalf("invalidated bottomup entry: result_cached=%v plan_cached=%v", q.ResultCached, q.PlanCached)
+	}
+
+	// A delete touches the reach plan's positive E occurrence: delta polarity
+	// forbids maintenance, so the (re-maintained) entry is invalidated and a
+	// fresh evaluation sees the shrunken answer.
+	code, up, _ = postUpdate(t, ts, "chain", UpdateRequest{
+		Updates: []UpdateEntry{{Relation: "E", Delete: [][]int{{1, 2}}}},
+	})
+	if code != http.StatusOK || up.Deleted != 1 {
+		t.Fatalf("delete update: status %d resp %+v", code, up)
+	}
+	if up.Cache.Maintained != 0 {
+		t.Fatalf("delete must not be maintained through a positive occurrence: %+v", up.Cache)
+	}
+	q = mustQuery(reach, "compiled")
+	if q.ResultCached || fmt.Sprint(q.Answer) != "[[1]]" {
+		t.Fatalf("post-delete reach: cached=%v answer %v", q.ResultCached, q.Answer)
+	}
+
+	st := getStats(t, ts)
+	if st.Churn.Updates != 2 || st.Churn.Carried < 1 || st.Churn.Maintained != 1 || st.Churn.Invalidated < 2 {
+		t.Fatalf("churn stats %+v", st.Churn)
+	}
+}
+
+// TestUpdateSnapshotIsolation hammers one database with edge toggles while
+// readers evaluate concurrently. Every response must be one of the two
+// consistent answers — a torn read (an evaluation seeing half an update)
+// would produce something else. Run under -race this also proves the
+// snapshot handoff is properly synchronized.
+func TestUpdateSnapshotIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Databases: map[string]*database.Database{"chain": chainDB(t)}})
+
+	// twoHop without E(3,4): {(1,3)}; with it: {(1,3),(2,4)}.
+	const without = "[[1 3]]"
+	const with = "[[1 3] [2 4]]"
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				e := UpdateEntry{Relation: "E"}
+				if (i+seed)%2 == 0 {
+					e.Insert = [][]int{{3, 4}}
+				} else {
+					e.Delete = [][]int{{3, 4}}
+				}
+				code, _, bad := postUpdate(t, ts, "chain", UpdateRequest{Updates: []UpdateEntry{e}})
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("update: status %d err %q", code, bad.Error)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				code, q, bad := postQuery(t, ts, QueryRequest{
+					Database: "chain", Query: twoHop, Engine: "compiled",
+					NoCache: r%2 == 0, // half the readers bypass the cache
+				})
+				if code != http.StatusOK {
+					errc <- fmt.Errorf("query: status %d err %q", code, bad.Error)
+					return
+				}
+				if got := fmt.Sprint(q.Answer); got != without && got != with {
+					errc <- fmt.Errorf("torn answer %v", q.Answer)
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
