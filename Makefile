@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet docs race bench bench-json bench-sparse bench-smoke sweep examples cover clean check serve
+.PHONY: all build test vet docs race bench bench-json bench-sparse bench-stream bench-smoke smoke-stream sweep examples cover clean check serve
 
 all: vet test build
 
@@ -9,17 +9,21 @@ all: vet test build
 # compiled engine's wave scheduler, the bvqd single-flight path and the
 # update/maintenance path make -race meaningful), the differential
 # harnesses — including the randomized churn differential, which drives
-# hundreds of mutation steps through delta-restart maintenance — and the
-# compiled scheduler called out by name so a regression there is visible
-# by name, and a single-iteration benchmark smoke pass so the benchmarks
-# themselves cannot rot.
+# hundreds of mutation steps through delta-restart maintenance, and the
+# streaming differential, which checks ~200 random formulas enumerate
+# byte-identically to their materialized answers across backends and
+# engines — the compiled scheduler called out by name so a regression
+# there is visible by name, a single-iteration benchmark smoke pass so
+# the benchmarks themselves cannot rot, and a curl-level NDJSON smoke
+# against a live bvqd so the streaming wire format cannot rot either.
 check: docs
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/ ./internal/metrics/
-	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled|TestChurn|TestMaintain|TestUpdate' ./internal/eval/ ./internal/server/
+	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled|TestChurn|TestMaintain|TestUpdate|TestEnum|TestStream' ./internal/eval/ ./internal/server/
 	$(GO) test -count=1 -run 'TestSparseLargeDomainTC' ./internal/eval/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/eval/ ./internal/relation/ ./internal/bitset/
+	./scripts/stream_smoke.sh
 
 build:
 	$(GO) build ./...
@@ -65,10 +69,22 @@ bench-json:
 bench-sparse:
 	$(GO) run ./cmd/bvqbench -json -quick | grep '"bench":"sparse-'
 
+# bench-stream emits the streaming-enumeration records (JSON Lines):
+# time-to-first-tuple, LIMIT-k latency and peak heap for the streamed
+# acyclic route next to the materialized baseline, on the large-answer
+# two-hop scenario up to n = 10,000. EXPERIMENTS.md quotes a run.
+bench-stream:
+	$(GO) run ./cmd/bvqbench -stream
+
 # bench-smoke runs every benchmark exactly once — a compile-and-run
 # existence check, not a measurement.
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# smoke-stream boots bvqd on the example graph and curls a streamed /query,
+# checking the NDJSON wire format end to end (scripts/stream_smoke.sh).
+smoke-stream:
+	./scripts/stream_smoke.sh
 
 # Regenerate the EXPERIMENTS.md sweeps (about a minute).
 sweep:

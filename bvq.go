@@ -38,6 +38,7 @@ import (
 	"repro/internal/eval/eso"
 	"repro/internal/logic"
 	"repro/internal/parser"
+	"repro/internal/plan"
 	"repro/internal/queryopt"
 	"repro/internal/relation"
 )
@@ -231,6 +232,36 @@ func EvalStatsContext(ctx context.Context, q Query, db *Database, engine Engine,
 	default:
 		return nil, nil, fmt.Errorf("bvq: unknown engine %d", engine)
 	}
+}
+
+// Enumerator streams a query answer one tuple at a time in the canonical
+// (lexicographic) tuple order; see eval.Enumerator for the full contract.
+// Callers must Close every enumerator, and should clone tuples they retain.
+type Enumerator = eval.Enumerator
+
+// EvalEnumContext evaluates q and returns a streaming enumerator over its
+// answer. EngineCompiled streams natively — dense denotations decode their
+// answer bits lazily, the sparse executor streams sorted head codes, and
+// acyclic ∃∧-CQs enumerate from Yannakakis semijoin-reduced relations
+// without materializing the product. The other engines materialize as usual
+// and stream the finished answer; either way the tuple sequence is
+// byte-identical to EvalStatsContext's Answer.Tuples().
+//
+// The returned Stats (nil for engines that do not report them) is live
+// while the enumerator runs; read it only after Close.
+func EvalEnumContext(ctx context.Context, q Query, db *Database, engine Engine, opts *Options) (Enumerator, *Stats, error) {
+	if engine == EngineCompiled {
+		p, err := plan.Compile(q)
+		if err != nil {
+			return nil, nil, err
+		}
+		return eval.EvalPlanEnum(ctx, p, db, opts)
+	}
+	ans, st, err := EvalStatsContext(ctx, q, db, engine, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return eval.NewSetEnumerator(ctx, ans, st), st, nil
 }
 
 // Holds evaluates a sentence (a Boolean query) with the given engine.

@@ -3,7 +3,8 @@
 // Usage:
 //
 //	bvq -db employees.db -query '(x, y). exists z. E(x, z) & E(z, y)' \
-//	    [-engine bottomup|naive|algebra|monotone|eso|certified|compiled] [-k 3] [-stats]
+//	    [-engine bottomup|naive|algebra|monotone|eso|certified|compiled] [-k 3] [-stats] \
+//	    [-stream] [-limit N] [-offset N]
 //
 // The database file uses the textual format of bvq.ParseDatabase:
 //
@@ -14,9 +15,17 @@
 // evaluation statistics (intermediate arities and sizes, fixpoint
 // iterations) are printed to stderr. With -k, the query is rejected unless
 // its width is at most k — the Lᵏ membership check.
+//
+// With -stream, the answer is produced through the streaming enumeration
+// API: tuples print as they decode, and with -limit the evaluation stops
+// extracting after the window instead of materializing the full answer —
+// on the compiled engine's acyclic fast path, without ever building the
+// product. -limit/-offset also window the answer without -stream (the
+// window is cut after materialization there).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -36,17 +45,23 @@ func main() {
 		k       = flag.Int("k", 0, "reject queries of width > k (0: no bound)")
 		stats   = flag.Bool("stats", false, "print evaluation statistics to stderr")
 		showIdx = flag.Bool("indices", false, "print domain indices instead of raw values")
+		stream  = flag.Bool("stream", false, "stream tuples through the enumeration API (limit stops extraction early)")
+		limit   = flag.Int("limit", 0, "print at most N answer tuples (0: all)")
+		offset  = flag.Int("offset", 0, "skip the first N answer tuples")
 	)
 	flag.Parse()
-	if err := run(*dbPath, *query, *qFile, *engine, *k, *stats, *showIdx, os.Stdout, os.Stderr); err != nil {
+	if err := run(*dbPath, *query, *qFile, *engine, *k, *stats, *showIdx, *stream, *limit, *offset, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bvq:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dbPath, query, qFile, engineName string, k int, stats, showIdx bool, stdout, stderr io.Writer) error {
+func run(dbPath, query, qFile, engineName string, k int, stats, showIdx, stream bool, limit, offset int, stdout, stderr io.Writer) error {
 	if dbPath == "" {
 		return fmt.Errorf("missing -db")
+	}
+	if limit < 0 || offset < 0 {
+		return fmt.Errorf("-limit and -offset must be ≥ 0")
 	}
 	text, err := os.ReadFile(dbPath)
 	if err != nil {
@@ -78,16 +93,15 @@ func run(dbPath, query, qFile, engineName string, k int, stats, showIdx bool, st
 	if k > 0 {
 		opts = &bvq.Options{MaxWidth: k}
 	}
+	if stream {
+		return runStream(q, db, eng, opts, stats, showIdx, limit, offset, stdout, stderr)
+	}
 	ans, st, err := bvq.EvalStats(q, db, eng, opts)
 	if err != nil {
 		return err
 	}
 	if stats {
-		fmt.Fprintf(stderr, "engine=%s width=%d domain=%d\n", eng, bvq.Width(q), db.Size())
-		if st != nil {
-			fmt.Fprintf(stderr, "subformula evals=%d fixpoint iterations=%d max intermediate arity=%d max intermediate tuples=%d\n",
-				st.SubformulaEvals, st.FixIterations, st.MaxIntermediateArity, st.MaxIntermediateTuples)
-		}
+		printStats(stderr, eng, q, db, st)
 	}
 	if q.Arity() == 0 {
 		verdict := "false"
@@ -97,21 +111,88 @@ func run(dbPath, query, qFile, engineName string, k int, stats, showIdx bool, st
 		return emit(stdout, verdict)
 	}
 	tuples := ans.Tuples()
-	for _, t := range tuples {
-		line := t.String()
-		if !showIdx {
-			raw := make(relation.Tuple, len(t))
-			for i, v := range t {
-				raw[i] = db.Value(v)
-			}
-			line = raw.String()
+	if offset > 0 {
+		if offset >= len(tuples) {
+			tuples = nil
+		} else {
+			tuples = tuples[offset:]
 		}
-		if err := emit(stdout, line); err != nil {
+	}
+	if limit > 0 && limit < len(tuples) {
+		tuples = tuples[:limit]
+	}
+	for _, t := range tuples {
+		if err := emit(stdout, renderLine(t, db, showIdx)); err != nil {
 			return err
 		}
 	}
 	fmt.Fprintf(stderr, "%d tuple(s)\n", ans.Len())
 	return nil
+}
+
+// runStream prints the answer through the enumeration API: constant memory
+// in the answer size, tuples printed as they decode, and LIMIT stopping the
+// extraction (on the acyclic fast path, the evaluation) early.
+func runStream(q bvq.Query, db *bvq.Database, eng bvq.Engine, opts *bvq.Options, stats, showIdx bool, limit, offset int, stdout, stderr io.Writer) error {
+	en, st, err := bvq.EvalEnumContext(context.Background(), q, db, eng, opts)
+	if err != nil {
+		return err
+	}
+	defer en.Close()
+	if q.Arity() == 0 {
+		verdict := "false"
+		if _, ok := en.Next(); ok {
+			verdict = "true"
+		}
+		if err := en.Err(); err != nil {
+			return err
+		}
+		return emit(stdout, verdict)
+	}
+	cnt, cntOK := en.Count()
+	skipped := 0
+	if offset > 0 {
+		skipped = en.Skip(offset)
+	}
+	printed := 0
+	exhausted := true
+	for limit == 0 || printed < limit {
+		t, ok := en.Next()
+		if !ok {
+			break
+		}
+		if err := emit(stdout, renderLine(t, db, showIdx)); err != nil {
+			return err
+		}
+		printed++
+		if limit > 0 && printed == limit {
+			exhausted = false
+		}
+	}
+	if err := en.Err(); err != nil {
+		return err
+	}
+	if !cntOK && exhausted {
+		cnt, cntOK = skipped+printed, true
+	}
+	en.Close() // fold acyclic-route stats before printing them
+	if stats {
+		printStats(stderr, eng, q, db, st)
+	}
+	if cntOK {
+		fmt.Fprintf(stderr, "%d tuple(s), %d streamed, %d skipped\n", cnt, printed, skipped)
+	} else {
+		fmt.Fprintf(stderr, "%d streamed, %d skipped\n", printed, skipped)
+	}
+	return nil
+}
+
+func printStats(stderr io.Writer, eng bvq.Engine, q bvq.Query, db *bvq.Database, st *bvq.Stats) {
+	fmt.Fprintf(stderr, "engine=%s width=%d domain=%d\n", eng, bvq.Width(q), db.Size())
+	if st != nil {
+		fmt.Fprintf(stderr, "subformula evals=%d fixpoint iterations=%d max intermediate arity=%d max intermediate tuples=%d\n",
+			st.SubformulaEvals, st.FixIterations, st.MaxIntermediateArity, st.MaxIntermediateTuples)
+	}
 }
 
 // emit writes one answer line and surfaces the write error, so a broken
@@ -122,4 +203,15 @@ func emit(stdout io.Writer, line string) error {
 		return fmt.Errorf("writing answer: %w", err)
 	}
 	return nil
+}
+
+func renderLine(t relation.Tuple, db *bvq.Database, showIdx bool) string {
+	if showIdx {
+		return t.String()
+	}
+	raw := make(relation.Tuple, len(t))
+	for i, v := range t {
+		raw[i] = db.Value(v)
+	}
+	return raw.String()
 }

@@ -25,7 +25,7 @@ P/1 = {(10)}
 func TestRunBasicQuery(t *testing.T) {
 	db := writeDB(t)
 	var out, errw strings.Builder
-	err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 0, true, false, &out, &errw)
+	err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 0, true, false, false, 0, 0, &out, &errw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,14 +44,14 @@ func TestRunBasicQuery(t *testing.T) {
 func TestRunBooleanAndIndices(t *testing.T) {
 	db := writeDB(t)
 	var out, errw strings.Builder
-	if err := run(db, "(). exists x. P(x)", "", "naive", 0, false, false, &out, &errw); err != nil {
+	if err := run(db, "(). exists x. P(x)", "", "naive", 0, false, false, false, 0, 0, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "true" {
 		t.Fatalf("Boolean output = %q", out.String())
 	}
 	out.Reset()
-	if err := run(db, "(x). P(x)", "", "bottomup", 0, false, true, &out, &errw); err != nil {
+	if err := run(db, "(x). P(x)", "", "bottomup", 0, false, true, false, 0, 0, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if strings.TrimSpace(out.String()) != "(0)" { // index of value 10
@@ -66,7 +66,7 @@ func TestRunQueryFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out, errw strings.Builder
-	if err := run(db, "", qf, "bottomup", 0, false, false, &out, &errw); err != nil {
+	if err := run(db, "", qf, "bottomup", 0, false, false, false, 0, 0, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "(10)") {
@@ -78,7 +78,7 @@ func TestRunCertifiedEngine(t *testing.T) {
 	db := writeDB(t)
 	var out, errw strings.Builder
 	q := "(u). [lfp S(x). P(x) | (exists z. E(z, x) & (exists x. x = z & S(x)))](u)"
-	if err := run(db, q, "", "certified", 0, false, false, &out, &errw); err != nil {
+	if err := run(db, q, "", "certified", 0, false, false, false, 0, 0, &out, &errw); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(errw.String(), "4 tuple(s)") {
@@ -94,33 +94,68 @@ func TestRunErrors(t *testing.T) {
 	}{
 		{"missing db", func() error {
 			var o, e strings.Builder
-			return run("", "(x). P(x)", "", "bottomup", 0, false, false, &o, &e)
+			return run("", "(x). P(x)", "", "bottomup", 0, false, false, false, 0, 0, &o, &e)
 		}},
 		{"missing query", func() error {
 			var o, e strings.Builder
-			return run(db, "", "", "bottomup", 0, false, false, &o, &e)
+			return run(db, "", "", "bottomup", 0, false, false, false, 0, 0, &o, &e)
 		}},
 		{"bad engine", func() error {
 			var o, e strings.Builder
-			return run(db, "(x). P(x)", "", "warpdrive", 0, false, false, &o, &e)
+			return run(db, "(x). P(x)", "", "warpdrive", 0, false, false, false, 0, 0, &o, &e)
 		}},
 		{"width bound", func() error {
 			var o, e strings.Builder
-			return run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 2, false, false, &o, &e)
+			return run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 2, false, false, false, 0, 0, &o, &e)
 		}},
 		{"bad query", func() error {
 			var o, e strings.Builder
-			return run(db, "(x). Nope(", "", "bottomup", 0, false, false, &o, &e)
+			return run(db, "(x). Nope(", "", "bottomup", 0, false, false, false, 0, 0, &o, &e)
 		}},
 		{"nonexistent db file", func() error {
 			var o, e strings.Builder
-			return run("/nonexistent/x.db", "(x). P(x)", "", "bottomup", 0, false, false, &o, &e)
+			return run("/nonexistent/x.db", "(x). P(x)", "", "bottomup", 0, false, false, false, 0, 0, &o, &e)
 		}},
 	}
 	for _, c := range cases {
 		if err := c.fn(); err == nil {
 			t.Errorf("%s: no error", c.name)
 		}
+	}
+}
+
+// TestRunStream pins the -stream path: same tuples and order as the
+// materialized path, -limit/-offset windowing, and the streamed tuple
+// accounting on stderr.
+func TestRunStream(t *testing.T) {
+	db := writeDB(t)
+	for _, engine := range []string{"bottomup", "compiled"} {
+		var out, errw strings.Builder
+		if err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", engine, 0, false, false, true, 0, 0, &out, &errw); err != nil {
+			t.Fatal(err)
+		}
+		if got := out.String(); !strings.Contains(got, "(10, 30)") || !strings.Contains(got, "(20, 40)") {
+			t.Fatalf("%s stream stdout = %q", engine, got)
+		}
+		if !strings.Contains(errw.String(), "2 tuple(s), 2 streamed, 0 skipped") {
+			t.Fatalf("%s stream stderr = %q", engine, errw.String())
+		}
+	}
+	// Window: skip the first tuple, take one.
+	var out, errw strings.Builder
+	if err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "compiled", 0, false, false, true, 1, 1, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(out.String()); got != "(20, 40)" {
+		t.Fatalf("windowed stream stdout = %q", got)
+	}
+	// Boolean stream.
+	out.Reset()
+	if err := run(db, "(). exists x. P(x)", "", "compiled", 0, false, false, true, 0, 0, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "true" {
+		t.Fatalf("boolean stream = %q", out.String())
 	}
 }
 
@@ -150,7 +185,7 @@ func TestRunPropagatesWriteErrors(t *testing.T) {
 		{"boolean answer", "(). exists x. P(x)"},
 	}
 	for _, c := range cases {
-		err := run(db, c.query, "", "bottomup", 0, false, false, &failWriter{}, &errw)
+		err := run(db, c.query, "", "bottomup", 0, false, false, false, 0, 0, &failWriter{}, &errw)
 		if err == nil {
 			t.Errorf("%s: write failure not propagated", c.name)
 		} else if !strings.Contains(err.Error(), "simulated write failure") {
@@ -158,7 +193,7 @@ func TestRunPropagatesWriteErrors(t *testing.T) {
 		}
 	}
 	// Failure mid-answer (first tuple written, second fails) must also fail.
-	if err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 0, false, false, &failWriter{n: 1}, &errw); err == nil {
+	if err := run(db, "(x, y). exists z. E(x, z) & E(z, y)", "", "bottomup", 0, false, false, false, 0, 0, &failWriter{n: 1}, &errw); err == nil {
 		t.Error("mid-answer write failure not propagated")
 	}
 }

@@ -4,11 +4,16 @@
 // series, and checks that all engines agree on the answers. EXPERIMENTS.md
 // records a run of this tool next to the paper's claims.
 //
-// Usage: bvqbench [-quick] [-json] [-scrape http://host:8080/metrics]
+// Usage: bvqbench [-quick] [-json] [-stream] [-scrape http://host:8080/metrics]
 //
 // With -json the tool skips the prose tables and instead emits one JSON
 // record per (workload, engine, size) cell — see Record in json.go — for
 // the engine-comparison workloads (tc-lfp, reach-lfp, mu-fp2, pfp-grow).
+//
+// With -stream the tool emits the streaming-enumeration records instead
+// (see stream.go): time-to-first-tuple, LIMIT-k latency and peak heap for
+// the streamed acyclic route next to the materialized baseline, on a
+// large-answer two-hop scenario up to n = 10,000.
 //
 // With -scrape the tool instead fetches a running bvqd's /metrics endpoint,
 // validates the Prometheus exposition format, and emits one JSON record per
@@ -38,9 +43,10 @@ import (
 )
 
 var (
-	quick     = flag.Bool("quick", false, "smaller sweeps")
-	jsonMode  = flag.Bool("json", false, "emit machine-readable engine-comparison records (JSON Lines)")
-	scrapeURL = flag.String("scrape", "", "scrape a bvqd /metrics endpoint into JSON Lines instead of benchmarking")
+	quick      = flag.Bool("quick", false, "smaller sweeps")
+	jsonMode   = flag.Bool("json", false, "emit machine-readable engine-comparison records (JSON Lines)")
+	streamMode = flag.Bool("stream", false, "emit streaming-enumeration records (TTFT, LIMIT-k, peak heap; JSON Lines)")
+	scrapeURL  = flag.String("scrape", "", "scrape a bvqd /metrics endpoint into JSON Lines instead of benchmarking")
 )
 
 // writeErr records the first failed write to stdout. Sweep tables are the
@@ -64,6 +70,10 @@ func main() {
 	flag.Parse()
 	if *scrapeURL != "" {
 		runScrape(*scrapeURL)
+		return
+	}
+	if *streamMode {
+		runStreamBench(*quick)
 		return
 	}
 	if *jsonMode {

@@ -227,6 +227,69 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// Cursor walks the set bits of a Set in increasing order, one call at a
+// time. Unlike ForEach it can be suspended between bits, which is what a
+// streaming enumerator needs, and Skip advances over whole words by popcount
+// without decoding the bits it discards.
+//
+// The cursor reads the underlying words directly; mutating the Set while a
+// cursor is open yields unspecified (but memory-safe) results.
+type Cursor struct {
+	words []uint64
+	wi    int    // index of the word cur was taken from
+	cur   uint64 // remaining bits of words[wi], lowest bit = next result
+}
+
+// Cursor returns a cursor positioned before the first set bit.
+func (s *Set) Cursor() Cursor {
+	c := Cursor{words: s.words}
+	if len(c.words) > 0 {
+		c.cur = c.words[0]
+	}
+	return c
+}
+
+// Next returns the index of the next set bit, and whether one exists.
+func (c *Cursor) Next() (int, bool) {
+	for c.cur == 0 {
+		c.wi++
+		if c.wi >= len(c.words) {
+			return 0, false
+		}
+		c.cur = c.words[c.wi]
+	}
+	b := bits.TrailingZeros64(c.cur)
+	c.cur &= c.cur - 1
+	return c.wi*wordBits + b, true
+}
+
+// Skip advances past up to n set bits without reporting them and returns how
+// many were actually skipped (less than n only if the set ran out). Whole
+// words are skipped by popcount, so skipping k bits costs O(k/64 + words
+// scanned), not O(k) bit decodes.
+func (c *Cursor) Skip(n int) int {
+	skipped := 0
+	for skipped < n {
+		pc := bits.OnesCount64(c.cur)
+		if skipped+pc <= n {
+			skipped += pc
+			c.wi++
+			if c.wi >= len(c.words) {
+				c.cur = 0
+				return skipped
+			}
+			c.cur = c.words[c.wi]
+			continue
+		}
+		// The boundary falls inside cur: clear bits one at a time.
+		for skipped < n {
+			c.cur &= c.cur - 1
+			skipped++
+		}
+	}
+	return skipped
+}
+
 // Hash returns a 64-bit FNV-1a style hash of the set contents, suitable for
 // cycle detection over sequences of sets.
 func (s *Set) Hash() uint64 {

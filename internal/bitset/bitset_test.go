@@ -316,3 +316,86 @@ func BenchmarkAnd(b *testing.B) {
 		x.And(y)
 	}
 }
+
+func TestCursorMatchesForEach(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(400)
+		s := randomSet(r, n)
+		var want []int
+		s.ForEach(func(i int) { want = append(want, i) })
+		c := s.Cursor()
+		var got []int
+		for {
+			i, ok := c.Next()
+			if !ok {
+				break
+			}
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: cursor yielded %d bits, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: bit %d: got %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		if _, ok := c.Next(); ok {
+			t.Fatalf("n=%d: Next after exhaustion reported a bit", n)
+		}
+	}
+}
+
+func TestCursorSkip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 80; trial++ {
+		n := r.Intn(500)
+		s := randomSet(r, n)
+		var all []int
+		s.ForEach(func(i int) { all = append(all, i) })
+		k := r.Intn(len(all) + 3) // sometimes past the end
+		c := s.Cursor()
+		skipped := c.Skip(k)
+		wantSkipped := k
+		if wantSkipped > len(all) {
+			wantSkipped = len(all)
+		}
+		if skipped != wantSkipped {
+			t.Fatalf("n=%d k=%d: Skip returned %d, want %d", n, k, skipped, wantSkipped)
+		}
+		i, ok := c.Next()
+		if k >= len(all) {
+			if ok {
+				t.Fatalf("n=%d k=%d: Next after over-skip reported bit %d", n, k, i)
+			}
+			continue
+		}
+		if !ok || i != all[k] {
+			t.Fatalf("n=%d k=%d: Next after Skip = (%d,%v), want (%d,true)", n, k, i, ok, all[k])
+		}
+	}
+}
+
+func TestCursorSkipInterleaved(t *testing.T) {
+	s := New(300)
+	for i := 0; i < 300; i += 3 {
+		s.Set(i)
+	}
+	c := s.Cursor()
+	if i, ok := c.Next(); !ok || i != 0 {
+		t.Fatalf("first Next = (%d,%v)", i, ok)
+	}
+	if got := c.Skip(10); got != 10 {
+		t.Fatalf("Skip(10) = %d", got)
+	}
+	if i, ok := c.Next(); !ok || i != 33 {
+		t.Fatalf("Next after Skip(10) = (%d,%v), want 33", i, ok)
+	}
+	if got := c.Skip(1000); got != 100-12 {
+		t.Fatalf("Skip(1000) = %d, want %d", got, 100-12)
+	}
+	if _, ok := c.Next(); ok {
+		t.Fatal("Next after exhausting skip succeeded")
+	}
+}

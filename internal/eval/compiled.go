@@ -77,6 +77,25 @@ func evalPlanDense(ctx context.Context, p *plan.Plan, db *database.Database, opt
 // seedable binders restart from; capture, when set on a maintainable plan,
 // records each seedable binder's final stage into the returned MaintState.
 func evalPlanDenseMaint(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density, seed *MaintState, capture bool) (*relation.Set, *Stats, *MaintState, error) {
+	h, st, state, err := evalPlanDenseHead(ctx, p, db, opts, den, seed, capture)
+	if err != nil {
+		return nil, st, nil, err
+	}
+	out := h.ToSet()
+	h.Release()
+	return out, st, state, nil
+}
+
+// evalPlanDenseHead is the dense engine's core: it evaluates the plan and
+// returns the answer as a Dense relation over the head space (arity
+// len(HeadAxes), always feasible since the full-width space was), leaving
+// the decode-to-tuples step to the caller. The materializing path converts
+// it to a Set; the streaming path hands it to a relation.DenseCursor, which
+// decodes set bits lazily. The caller owns the returned Dense and must
+// Release it. Head variables are distinct (logic.Query.Validate), so the
+// word-parallel ProjectAt dedup path always applies — this is the same
+// extraction Dense.Project performs, split before the tuple decode.
+func evalPlanDenseHead(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density, seed *MaintState, capture bool) (*relation.Dense, *Stats, *MaintState, error) {
 	sp, err := relation.NewSpace(len(p.Vars), db.Size())
 	if err != nil {
 		return nil, nil, nil, err
@@ -115,7 +134,11 @@ func evalPlanDenseMaint(ctx context.Context, p *plan.Plan, db *database.Database
 	if r.captured != nil {
 		state = &MaintState{stages: r.captured}
 	}
-	return d.Project(p.HeadAxes), r.stats, state, nil
+	hsp, err := relation.NewSpace(len(p.HeadAxes), db.Size())
+	if err != nil {
+		return nil, r.stats, nil, err
+	}
+	return d.ProjectAt(hsp, p.HeadAxes, nil, nil), r.stats, state, nil
 }
 
 // cpRun is one evaluation of a compiled plan. The PFP parameter sweep forks

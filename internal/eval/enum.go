@@ -1,0 +1,341 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/database"
+	"repro/internal/plan"
+	"repro/internal/queryopt"
+	"repro/internal/relation"
+)
+
+// Enumerator streams a query answer one tuple at a time, in the canonical
+// Set.Tuples (lexicographic) order regardless of which backend produced it.
+// It is the evaluation stack's iterator API: callers pull tuples instead of
+// receiving a materialized Set, so LIMIT-k requests stop the extraction (and
+// on the acyclic fast path, the evaluation itself) after k tuples, and
+// per-request memory stays proportional to the window plus the engine's
+// stage relations rather than to |answer|.
+//
+// Contract:
+//   - Next returns the next tuple; the Tuple is reused across calls, so
+//     retain only clones. After false, call Err to distinguish clean
+//     exhaustion (nil) from an early stop (context cancellation).
+//   - Skip advances past up to n tuples without decoding them where the
+//     representation allows (word popcounts on dense bitmaps, an index jump
+//     on sparse code blocks) and returns how many were actually skipped.
+//   - Count reports the exact full answer cardinality when it is known
+//     cheaply (dense popcount, sparse length, materialized sets); ok=false
+//     when knowing it would require running the enumeration to the end (the
+//     streaming acyclic route).
+//   - Close releases engine resources (pooled bitmaps, group state) and is
+//     idempotent. Callers must Close every enumerator, on every path.
+//
+// Enumerators are single-goroutine values, like the relation cursors they
+// wrap.
+type Enumerator interface {
+	Next() (relation.Tuple, bool)
+	Skip(n int) int
+	Count() (int, bool)
+	Err() error
+	Close()
+}
+
+// ctxCheckEvery bounds how many tuples an enumerator yields between context
+// checks: cancellation (client disconnect, server deadline) is noticed
+// within this many Next calls.
+const ctxCheckEvery = 1024
+
+// cursor is the shape shared by relation.DenseCursor, relation.SparseCursor
+// and setCursor.
+type cursor interface {
+	Next() (relation.Tuple, bool)
+	Skip(n int) int
+	Count() int
+	Close()
+}
+
+// cursorEnum adapts a relation cursor into an Enumerator: it meters
+// streamed/skipped tuples into Stats and polls the context every
+// ctxCheckEvery tuples.
+type cursorEnum struct {
+	ctx        context.Context
+	c          cursor
+	stats      *Stats
+	err        error
+	sinceCheck int
+	closed     bool
+}
+
+func newCursorEnum(ctx context.Context, c cursor, stats *Stats) *cursorEnum {
+	return &cursorEnum{ctx: ctx, c: c, stats: stats}
+}
+
+func (e *cursorEnum) Next() (relation.Tuple, bool) {
+	if e.err != nil || e.closed {
+		return nil, false
+	}
+	e.sinceCheck++
+	if e.sinceCheck >= ctxCheckEvery {
+		e.sinceCheck = 0
+		if err := checkCtx(e.ctx); err != nil {
+			e.err = err
+			return nil, false
+		}
+	}
+	t, ok := e.c.Next()
+	if !ok {
+		return nil, false
+	}
+	e.stats.addTuplesStreamed(1)
+	return t, true
+}
+
+func (e *cursorEnum) Skip(n int) int {
+	if e.err != nil || e.closed || n <= 0 {
+		return 0
+	}
+	k := e.c.Skip(n)
+	e.stats.addTuplesSkipped(int64(k))
+	return k
+}
+
+func (e *cursorEnum) Count() (int, bool) {
+	if e.closed {
+		return 0, false
+	}
+	return e.c.Count(), true
+}
+
+func (e *cursorEnum) Err() error { return e.err }
+
+func (e *cursorEnum) Close() {
+	if !e.closed {
+		e.closed = true
+		e.c.Close()
+	}
+}
+
+// setCursor walks a materialized Set in canonical order. It backs
+// NewSetEnumerator — the adapter that gives tree-walking engines and cached
+// results the same streaming surface.
+type setCursor struct {
+	tuples []relation.Tuple
+	i      int
+}
+
+func (c *setCursor) Next() (relation.Tuple, bool) {
+	if c.i >= len(c.tuples) {
+		return nil, false
+	}
+	t := c.tuples[c.i]
+	c.i++
+	return t, true
+}
+
+func (c *setCursor) Skip(n int) int {
+	rem := len(c.tuples) - c.i
+	if n > rem {
+		n = rem
+	}
+	c.i += n
+	return n
+}
+
+func (c *setCursor) Count() int { return len(c.tuples) }
+func (c *setCursor) Close()     { c.tuples = nil }
+
+// NewSetEnumerator wraps an already-materialized answer Set as an
+// Enumerator (sorting its tuples once). This is how cached results serve
+// windowed/streaming requests and how the tree-walking engines — which are
+// inherently materializing — satisfy the enumeration API. stats may be nil.
+func NewSetEnumerator(ctx context.Context, s *relation.Set, stats *Stats) Enumerator {
+	return newCursorEnum(ctx, &setCursor{tuples: s.Tuples()}, stats)
+}
+
+// yannEnum adapts the queryopt streaming enumerator. Its queryopt.Stats is
+// live during enumeration; the adapter folds it into the eval Stats exactly
+// once, when enumeration finishes (exhaustion, error or Close) — mirroring
+// what tryAcyclicFast reports for a materialized run.
+type yannEnum struct {
+	ctx    context.Context
+	inner  *queryopt.Enum
+	stats  *Stats
+	qst    *queryopt.Stats
+	err    error
+	folded bool
+	closed bool
+}
+
+func (e *yannEnum) fold() {
+	if e.folded {
+		return
+	}
+	e.folded = true
+	e.stats.addSubformulaEvals(int64(e.qst.Operations))
+	e.stats.addTuplesTouched(int64(e.qst.TuplesTouched))
+	e.stats.observe(e.qst.MaxIntermediateArity, e.qst.MaxIntermediateTuples)
+}
+
+func (e *yannEnum) Next() (relation.Tuple, bool) {
+	if e.err != nil || e.closed {
+		return nil, false
+	}
+	t, ok := e.inner.Next()
+	if !ok {
+		e.err = e.inner.Err()
+		e.fold()
+		return nil, false
+	}
+	e.stats.addTuplesStreamed(1)
+	return t, true
+}
+
+func (e *yannEnum) Skip(n int) int {
+	skipped := 0
+	for skipped < n {
+		if e.err != nil || e.closed {
+			break
+		}
+		if _, ok := e.inner.Next(); !ok {
+			e.err = e.inner.Err()
+			e.fold()
+			break
+		}
+		skipped++
+	}
+	e.stats.addTuplesSkipped(int64(skipped))
+	return skipped
+}
+
+// Count is unknown for the streaming acyclic route: the group decomposition
+// delivers answers without ever counting them all.
+func (e *yannEnum) Count() (int, bool) { return 0, false }
+
+func (e *yannEnum) Err() error { return e.err }
+
+func (e *yannEnum) Close() {
+	if !e.closed {
+		e.closed = true
+		e.fold()
+		e.inner.Close()
+	}
+}
+
+// EvalPlanEnum evaluates a compiled plan and returns a streaming enumerator
+// over the answer, routed by backend exactly like EvalPlanContext:
+//
+//   - dense routes run the full evaluation, project the root onto the head
+//     space word-parallel, and stream by decoding set bits lazily
+//     (relation.DenseCursor) — extraction, PR 3's dominant cost on large
+//     answers, is deferred and windowed;
+//   - the general sparse route streams the materialized head codes directly
+//     (relation.SparseCursor), skipping the Set round-trip;
+//   - the queryopt-recognized acyclic ∃∧-CQ route streams from the
+//     Yannakakis semijoin-reduced relations without building the product at
+//     all (queryopt.Enum) — preprocessing linear in the database, answers
+//     delivered group by group.
+//
+// The returned Stats is live while the enumerator runs; read it only after
+// Close. Callers must Close the enumerator on every path.
+func EvalPlanEnum(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options) (Enumerator, *Stats, error) {
+	en, st, _, err := evalPlanEnumRouted(ctx, p, db, opts, false)
+	return en, st, err
+}
+
+// EvalPlanEnumCapture is EvalPlanEnum capturing maintenance state on
+// maintainable dense routes (nil otherwise), so streamed evaluations can
+// register cache entries that survive database churn exactly like
+// EvalPlanCapture results.
+func EvalPlanEnumCapture(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options) (Enumerator, *Stats, *MaintState, error) {
+	return evalPlanEnumRouted(ctx, p, db, opts, true)
+}
+
+// evalPlanEnumRouted mirrors evalPlanRouted's backend routing (including the
+// auto-mode sparse-budget fallback to dense) for the enumeration API.
+func evalPlanEnumRouted(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, capture bool) (Enumerator, *Stats, *MaintState, error) {
+	if err := validatePlanRun(ctx, p, db, opts); err != nil {
+		return nil, nil, nil, err
+	}
+	den := p.Density(db.Size(), cardOf(db))
+	switch backendOf(opts) {
+	case BackendDense:
+		return enumPlanDense(ctx, p, db, opts, nil, capture)
+	case BackendSparse:
+		if !den.SparseOK {
+			return nil, nil, nil, fmt.Errorf("eval: sparse backend: %s", den.Blocker)
+		}
+		en, st, err := enumPlanSparse(ctx, p, db, opts, den)
+		return en, st, nil, err
+	default:
+		if !den.SpaceFeasible {
+			if !den.SparseOK {
+				return nil, nil, nil, fmt.Errorf("eval: dense space %d^%d exceeds %d bits and sparse evaluation is unavailable: %s",
+					db.Size(), len(p.Vars), relation.MaxDenseBits, den.Blocker)
+			}
+			en, st, err := enumPlanSparse(ctx, p, db, opts, den)
+			return en, st, nil, err
+		}
+		if den.PreferSparse() {
+			en, st, err := enumPlanSparse(ctx, p, db, opts, den)
+			if err != nil && errors.Is(err, ErrSparseBudget) {
+				return enumPlanDense(ctx, p, db, opts, hybridDensity(den), capture)
+			}
+			return en, st, nil, err
+		}
+		return enumPlanDense(ctx, p, db, opts, hybridDensity(den), capture)
+	}
+}
+
+// enumPlanDense runs the dense engine to its head-space denotation and
+// wraps it in a lazy bit-decoding cursor. The cursor owns the head Dense:
+// Close returns its bitmap to the space pool.
+func enumPlanDense(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density, capture bool) (Enumerator, *Stats, *MaintState, error) {
+	h, st, state, err := evalPlanDenseHead(ctx, p, db, opts, den, nil, capture)
+	if err != nil {
+		return nil, st, nil, err
+	}
+	return newCursorEnum(ctx, relation.NewDenseCursor(h, true), st), st, state, nil
+}
+
+// enumPlanSparse mirrors evalPlanSparse: the acyclic fast path streams
+// through queryopt.Enum; the general sval route materializes the head codes
+// (sorted, deduplicated) and streams them without converting to a Set.
+func enumPlanSparse(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density) (Enumerator, *Stats, error) {
+	stats := &Stats{}
+	if en, ok, err := tryAcyclicEnum(ctx, p, db, stats); ok {
+		return en, stats, err
+	}
+	r := newSpRun(ctx, p, db, opts, den, stats)
+	sv, err := r.evalNode(p.Root)
+	if err != nil {
+		return nil, stats, err
+	}
+	out, err := r.materialize(sv, p.HeadAxes)
+	if err != nil {
+		return nil, stats, err
+	}
+	return newCursorEnum(ctx, relation.NewSparseCursor(out), stats), stats, nil
+}
+
+// tryAcyclicEnum is tryAcyclicFast for the streaming API: acyclic ∃∧-CQs
+// are recognized and enumerated from the semijoin-reduced relations with
+// per-group delay; anything else falls through (ok=false) to the general
+// sparse executor.
+func tryAcyclicEnum(ctx context.Context, p *plan.Plan, db *database.Database, stats *Stats) (Enumerator, bool, error) {
+	cq, ok := queryopt.FromQuery(p.Query)
+	if !ok {
+		return nil, false, nil
+	}
+	inner, qst, err := queryopt.EnumYannakakis(ctx, cq, db)
+	if err != nil {
+		if errors.Is(err, queryopt.ErrCyclic) {
+			return nil, false, nil
+		}
+		return nil, true, err
+	}
+	stats.addAcyclicFastPath(1)
+	return &yannEnum{ctx: ctx, inner: inner, stats: stats, qst: qst}, true, nil
+}

@@ -205,6 +205,14 @@ type Stats struct {
 	// instead of recomputing from scratch, 0 otherwise. Aggregated by bvqd it
 	// counts answers maintained incrementally across database updates.
 	MaintainedFromDelta int64
+	// TuplesStreamed counts answer tuples actually decoded and delivered by
+	// an Enumerator (enum.go); zero for materializing evaluations, whose
+	// extraction is not tuple-metered.
+	TuplesStreamed int64
+	// TuplesSkipped counts answer tuples an Enumerator skipped without
+	// decoding (OFFSET seeks; for the dense cursor these cost popcounts, not
+	// decodes).
+	TuplesSkipped int64
 }
 
 func (s *Stats) addSubformulaEvals(d int64) {
@@ -246,6 +254,18 @@ func (s *Stats) addRepSwitches(d int64) {
 func (s *Stats) addAcyclicFastPath(d int64) {
 	if s != nil {
 		atomic.AddInt64(&s.AcyclicFastPath, d)
+	}
+}
+
+func (s *Stats) addTuplesStreamed(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.TuplesStreamed, d)
+	}
+}
+
+func (s *Stats) addTuplesSkipped(d int64) {
+	if s != nil {
+		atomic.AddInt64(&s.TuplesSkipped, d)
 	}
 }
 

@@ -1,0 +1,388 @@
+package queryopt
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/database"
+	"repro/internal/logic"
+	"repro/internal/relation"
+)
+
+// Enum streams the answers of an acyclic conjunctive query in the canonical
+// lexicographic tuple order without ever materializing the full answer — the
+// Durand–Grandjean enumeration shape: a preprocessing phase (the Yannakakis
+// full reducer, linear in the database), then answers delivered with delay
+// bounded by the work of one group.
+//
+// The decomposition is by the first head variable h. After full reduction
+// the relations are globally consistent, so the sorted distinct h-values of
+// any reduced relation containing h are exactly π_h(answer) — the group
+// keys. For each key v, in ascending order, the group's answers are computed
+// by the same project-join solve as the materializing executor, but with
+// every relation containing h pre-partitioned on h and restricted to v:
+// per-group work is proportional to the group's join size, never to
+// |answer|. Subtrees that do not contain h are group-independent: they are
+// solved once, memoized, and joined into each group through a hash index
+// built once per tree edge (probing from the small filtered side), so no
+// per-group pass over a large relation ever happens.
+//
+// Memory held between Next calls is O(reduced relations + one group), which
+// is the "stage relations" bound the streaming API promises — the full
+// answer product is never built.
+type Enum struct {
+	ctx context.Context
+	red *reduced
+
+	hv   logic.Var // first head variable (groups key); "" for boolean heads
+	hcol []int     // hcol[i] = column of hv in vars[i], -1 if absent
+	subH []bool    // subH[i]: hv occurs somewhere in i's subtree
+
+	groups []int                   // sorted distinct hv values of the anchor
+	gi     int                     // next group to solve
+	parts  []map[int]*relation.Set // parts[i]: hv-partition of rels[i] (nil unless hcol[i] ≥ 0)
+
+	// memo[i] holds the solve of an hv-free subtree, computed once; edge[i]
+	// holds the hash index of memo[i] keyed by the join columns shared with
+	// i's parent, also built once.
+	memo   []*solved
+	edge   []map[string][]relation.Tuple
+	edgeOn [][]relation.JoinOn
+
+	buf []relation.Tuple // current group's rows in head order, sorted
+	bi  int
+
+	err  error
+	done bool
+}
+
+type solved struct {
+	vars []logic.Var
+	rel  *relation.Set
+}
+
+// EnumYannakakis prepares streaming enumeration of an acyclic conjunctive
+// query. The returned Stats is live: preprocessing work is recorded before
+// return, per-group work as enumeration proceeds; read it only after the
+// enumerator is closed or exhausted. Cyclic queries fail with ErrCyclic.
+func EnumYannakakis(ctx context.Context, q *CQ, db *database.Database) (*Enum, *Stats, error) {
+	st := &Stats{}
+	jt, err := q.BuildJoinTree()
+	if err != nil {
+		return nil, nil, err
+	}
+	hv, anchor := logic.Var(""), -1
+	if len(q.Head) > 0 {
+		hv = q.Head[0]
+		for i, a := range q.Atoms {
+			for _, v := range a.Vars {
+				if v == hv {
+					anchor = i
+					break
+				}
+			}
+			if anchor >= 0 {
+				break
+			}
+		}
+		if anchor < 0 {
+			return nil, nil, fmt.Errorf("queryopt: head variable %s not found", hv)
+		}
+		// Re-root at an atom containing hv. By the join tree's running
+		// intersection property the hv-containing atoms then form a
+		// connected subtree hanging from the root, so every node the group
+		// solver recurses into carries hv — its relation is group-filtered
+		// and per-group work never scans an unfiltered relation.
+		jt = rerootTree(jt, anchor)
+	}
+	red, err := reduceTree(ctx, q, jt, db, st)
+	if err != nil {
+		return nil, nil, err
+	}
+	e := &Enum{ctx: ctx, red: red}
+	n := len(q.Atoms)
+	if len(q.Head) == 0 {
+		// Boolean query: after full reduction the root relation is nonempty
+		// iff the query holds (an empty relation anywhere empties the root
+		// through the upward pass). One group, zero or one empty tuple.
+		if red.rels[red.jt.Root].Len() > 0 {
+			e.buf = []relation.Tuple{{}}
+		}
+		return e, st, nil
+	}
+	e.hv = hv
+	e.hcol = make([]int, n)
+	e.subH = make([]bool, n)
+	e.parts = make([]map[int]*relation.Set, n)
+	e.memo = make([]*solved, n)
+	e.edge = make([]map[string][]relation.Tuple, n)
+	e.edgeOn = make([][]relation.JoinOn, n)
+	for i := range q.Atoms {
+		e.hcol[i] = -1
+		for ci, v := range red.vars[i] {
+			if v == e.hv {
+				e.hcol[i] = ci
+				break
+			}
+		}
+	}
+	var markSub func(i int) bool
+	markSub = func(i int) bool {
+		has := e.hcol[i] >= 0
+		for _, c := range red.children[i] {
+			if markSub(c) {
+				has = true
+			}
+		}
+		e.subH[i] = has
+		return has
+	}
+	markSub(red.jt.Root)
+	// Partition every hv-containing relation by its hv value, once. The
+	// partitions replace the reduced relation in group solves; total memory
+	// equals the reduced relations themselves.
+	for i := range q.Atoms {
+		if e.hcol[i] < 0 {
+			continue
+		}
+		part := make(map[int]*relation.Set)
+		hc := e.hcol[i]
+		ar := red.rels[i].Arity()
+		red.rels[i].ForEach(func(t relation.Tuple) {
+			s := part[t[hc]]
+			if s == nil {
+				s = relation.NewSet(ar)
+				part[t[hc]] = s
+			}
+			s.Add(t)
+		})
+		e.parts[i] = part
+	}
+	e.groups = make([]int, 0, len(e.parts[red.jt.Root]))
+	for v := range e.parts[red.jt.Root] {
+		e.groups = append(e.groups, v)
+	}
+	sort.Ints(e.groups)
+	return e, st, nil
+}
+
+// rerootTree re-parents a join tree at newRoot, producing a post-order Order
+// (every node after all its children) as the semijoin passes require. The
+// join-tree property is a property of the undirected tree, so any rooting
+// is valid.
+func rerootTree(jt *JoinTree, newRoot int) *JoinTree {
+	n := len(jt.Parent)
+	adj := make([][]int, n)
+	for e, p := range jt.Parent {
+		if p >= 0 {
+			adj[e] = append(adj[e], p)
+			adj[p] = append(adj[p], e)
+		}
+	}
+	out := &JoinTree{Parent: make([]int, n), Order: make([]int, 0, n), Root: newRoot}
+	for i := range out.Parent {
+		out.Parent[i] = -1
+	}
+	type frame struct{ node, idx int }
+	visited := make([]bool, n)
+	stack := []frame{{newRoot, 0}}
+	visited[newRoot] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.idx < len(adj[f.node]) {
+			nb := adj[f.node][f.idx]
+			f.idx++
+			if !visited[nb] {
+				visited[nb] = true
+				out.Parent[nb] = f.node
+				stack = append(stack, frame{nb, 0})
+			}
+			continue
+		}
+		out.Order = append(out.Order, f.node)
+		stack = stack[:len(stack)-1]
+	}
+	return out
+}
+
+// Next returns the next answer tuple (in lexicographic order) and whether
+// one exists. The returned tuple is owned by the enumerator's current group
+// buffer and stays valid until the group is exhausted; callers that retain
+// tuples across groups must clone them.
+func (e *Enum) Next() (relation.Tuple, bool) {
+	for {
+		if e.err != nil || e.done {
+			return nil, false
+		}
+		if e.bi < len(e.buf) {
+			t := e.buf[e.bi]
+			e.bi++
+			return t, true
+		}
+		if !e.nextGroup() {
+			return nil, false
+		}
+	}
+}
+
+// nextGroup solves groups until one yields rows or the keys run out. It
+// returns false when enumeration is over (exhausted or failed).
+func (e *Enum) nextGroup() bool {
+	for {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				e.err = fmt.Errorf("queryopt: cancelled: %w", err)
+				return false
+			}
+		}
+		if e.gi >= len(e.groups) {
+			e.done = true
+			return false
+		}
+		v := e.groups[e.gi]
+		e.gi++
+		rows, err := e.solveGroup(v)
+		if err != nil {
+			e.err = err
+			return false
+		}
+		if len(rows) > 0 {
+			e.buf, e.bi = rows, 0
+			return true
+		}
+		// A group can come up empty only when a sibling branch sharing hv
+		// eliminated it; full reduction makes that impossible, but staying
+		// robust costs nothing.
+	}
+}
+
+// solveGroup computes the answer rows with hv = v, sorted.
+func (e *Enum) solveGroup(v int) ([]relation.Tuple, error) {
+	rootVars, root, err := e.solveNode(e.red.jt.Root, v)
+	if err != nil {
+		return nil, err
+	}
+	cols, err := headCols(e.red.q.Head, rootVars)
+	if err != nil {
+		return nil, err
+	}
+	out := root.Project(cols)
+	e.red.st.observe(out)
+	return out.Tuples(), nil
+}
+
+// solveNode is the group-restricted analogue of reduced.solve: relations
+// containing hv are replaced by their v-partition, hv-free subtrees by their
+// memoized global solve (joined through the once-built edge index).
+func (e *Enum) solveNode(i, v int) ([]logic.Var, *relation.Set, error) {
+	red := e.red
+	var curVars []logic.Var
+	var cur *relation.Set
+	if e.hcol[i] >= 0 {
+		curVars = red.vars[i]
+		cur = e.parts[i][v]
+		if cur == nil {
+			cur = relation.NewSet(len(red.vars[i]))
+		}
+	} else {
+		curVars, cur = red.vars[i], red.rels[i]
+	}
+	for _, c := range red.children[i] {
+		if !e.subH[c] {
+			var err error
+			curVars, cur, err = e.joinMemo(curVars, cur, i, c)
+			if err != nil {
+				return nil, nil, err
+			}
+			continue
+		}
+		cvars, crel, err := e.solveNode(c, v)
+		if err != nil {
+			return nil, nil, err
+		}
+		curVars, cur = red.joinKeep(curVars, cur, c, cvars, crel)
+	}
+	return curVars, cur, nil
+}
+
+// joinMemo joins cur with the memoized solve of hv-free subtree c, probing
+// from cur into c's prebuilt hash index — per-group cost proportional to
+// cur and the matching rows, never to the memoized relation.
+func (e *Enum) joinMemo(curVars []logic.Var, cur *relation.Set, parent, c int) ([]logic.Var, *relation.Set, error) {
+	m := e.memo[c]
+	if m == nil {
+		vars, rel := e.red.solve(c)
+		m = &solved{vars: vars, rel: rel}
+		e.memo[c] = m
+	}
+	if e.edge[c] == nil {
+		// Join conditions between the parent's current vars and the child
+		// solve: since the child's kept vars are its own ∪ its subtree heads
+		// and the parent always retains its own vars, the shared variables
+		// are determined by the tree edge, not by how many children have
+		// been folded in — so the index keyed on the child side is reusable
+		// across groups.
+		var on []relation.JoinOn
+		for ai, vv := range curVars {
+			for bi, w := range m.vars {
+				if vv == w {
+					on = append(on, relation.JoinOn{Left: ai, Right: bi})
+				}
+			}
+		}
+		idx := make(map[string][]relation.Tuple)
+		key := make(relation.Tuple, len(on))
+		m.rel.ForEach(func(t relation.Tuple) {
+			for i, cnd := range on {
+				key[i] = t[cnd.Right]
+			}
+			k := joinKey(key)
+			idx[k] = append(idx[k], t)
+		})
+		e.edge[c] = idx
+		e.edgeOn[c] = on
+	}
+	on := e.edgeOn[c]
+	out := relation.NewSet(cur.Arity() + len(m.vars))
+	key := make(relation.Tuple, len(on))
+	row := make(relation.Tuple, cur.Arity()+len(m.vars))
+	cur.ForEach(func(a relation.Tuple) {
+		for i, cnd := range on {
+			key[i] = a[cnd.Left]
+		}
+		for _, b := range e.edge[c][joinKey(key)] {
+			copy(row, a)
+			copy(row[cur.Arity():], b)
+			out.Add(row)
+		}
+	})
+	newVars, cols := keepCols(curVars, m.vars, e.red.subtreeHead(c))
+	proj := out.Project(cols)
+	e.red.st.observe(proj)
+	return newVars, proj, nil
+}
+
+// joinKey encodes join-column values as a map key (4-byte big-endian per
+// component, mirroring the relation package's tuple keys).
+func joinKey(t relation.Tuple) string {
+	b := make([]byte, 4*len(t))
+	for i, x := range t {
+		binary.BigEndian.PutUint32(b[4*i:], uint32(x))
+	}
+	return string(b)
+}
+
+// Err reports the error that stopped enumeration early (context
+// cancellation), nil after a clean exhaustion.
+func (e *Enum) Err() error { return e.err }
+
+// Close releases the enumerator's group state. Safe to call repeatedly.
+func (e *Enum) Close() {
+	e.done = true
+	e.buf = nil
+	e.parts = nil
+	e.memo = nil
+	e.edge = nil
+}

@@ -80,10 +80,54 @@ func EvalYannakakis(q *CQ, db *database.Database) (*relation.Set, *Stats, error)
 // pass, the bottom-up join), the same stage-boundary discipline as the eval
 // engines, so answers stay deterministic under cancellation.
 func EvalYannakakisContext(ctx context.Context, q *CQ, db *database.Database) (*relation.Set, *Stats, error) {
-	jt, err := q.BuildJoinTree()
+	st := &Stats{}
+	r, err := reduce(ctx, q, db, st)
 	if err != nil {
 		return nil, nil, err
 	}
+	rootVars, root := r.solve(r.jt.Root)
+	cols, err := headCols(q.Head, rootVars)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := root.Project(cols)
+	st.observe(out)
+	return out, st, nil
+}
+
+// reduced is the preprocessing result shared by the materializing executor
+// and the streaming enumerator: the join tree with every atom relation
+// semijoin-reduced both ways. After full reduction the relations are
+// globally consistent — every tuple of every relation participates in at
+// least one answer, and the projection of any relation onto a variable set
+// it covers equals the answer's projection — which is the property the
+// enumerator's group decomposition relies on.
+type reduced struct {
+	q        *CQ
+	jt       *JoinTree
+	vars     [][]logic.Var
+	rels     []*relation.Set
+	children [][]int
+	head     map[logic.Var]bool
+	headMemo []map[logic.Var]bool
+	st       *Stats
+}
+
+// reduce materializes the atoms and runs the two semijoin passes of the
+// Yannakakis full reducer over the query's join tree. It fails with
+// ErrCyclic (wrapped by BuildJoinTree) on cyclic queries.
+func reduce(ctx context.Context, q *CQ, db *database.Database, st *Stats) (*reduced, error) {
+	jt, err := q.BuildJoinTree()
+	if err != nil {
+		return nil, err
+	}
+	return reduceTree(ctx, q, jt, db, st)
+}
+
+// reduceTree is reduce over a caller-supplied join tree (the enumerator
+// re-roots the GYO tree before reducing; re-rooting preserves the join-tree
+// property, which is undirected).
+func reduceTree(ctx context.Context, q *CQ, jt *JoinTree, db *database.Database, st *Stats) (*reduced, error) {
 	checkCtx := func() error {
 		if ctx == nil {
 			return nil
@@ -93,30 +137,27 @@ func EvalYannakakisContext(ctx context.Context, q *CQ, db *database.Database) (*
 		}
 		return nil
 	}
-	st := &Stats{}
 	n := len(q.Atoms)
-	vars := make([][]logic.Var, n)
-	rels := make([]*relation.Set, n)
+	r := &reduced{
+		q:        q,
+		jt:       jt,
+		vars:     make([][]logic.Var, n),
+		rels:     make([]*relation.Set, n),
+		children: make([][]int, n),
+		head:     make(map[logic.Var]bool, len(q.Head)),
+		headMemo: make([]map[logic.Var]bool, n),
+		st:       st,
+	}
+	var err error
 	for i, a := range q.Atoms {
-		vars[i], rels[i], err = atomRel(db, a)
+		r.vars[i], r.rels[i], err = atomRel(db, a)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		st.observe(rels[i])
+		st.observe(r.rels[i])
 	}
 	if err := checkCtx(); err != nil {
-		return nil, nil, err
-	}
-	shared := func(a, b int) []relation.JoinOn {
-		var on []relation.JoinOn
-		for ai, v := range vars[a] {
-			for bi, w := range vars[b] {
-				if v == w {
-					on = append(on, relation.JoinOn{Left: ai, Right: bi})
-				}
-			}
-		}
-		return on
+		return nil, err
 	}
 	// Upward semijoin pass: in ear-removal order, parent ⋉ child.
 	for _, e := range jt.Order {
@@ -124,11 +165,11 @@ func EvalYannakakisContext(ctx context.Context, q *CQ, db *database.Database) (*
 		if p < 0 {
 			continue
 		}
-		rels[p] = rels[p].Semijoin(rels[e], shared(p, e))
-		st.observe(rels[p])
+		r.rels[p] = r.rels[p].Semijoin(r.rels[e], r.shared(p, e))
+		st.observe(r.rels[p])
 	}
 	if err := checkCtx(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// Downward pass: reverse order, child ⋉ parent.
 	for i := len(jt.Order) - 1; i >= 0; i-- {
@@ -137,90 +178,117 @@ func EvalYannakakisContext(ctx context.Context, q *CQ, db *database.Database) (*
 		if p < 0 {
 			continue
 		}
-		rels[e] = rels[e].Semijoin(rels[p], shared(e, p))
-		st.observe(rels[e])
+		r.rels[e] = r.rels[e].Semijoin(r.rels[p], r.shared(e, p))
+		st.observe(r.rels[e])
 	}
 	if err := checkCtx(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	// Children lists.
-	children := make([][]int, n)
 	for e, p := range jt.Parent {
 		if p >= 0 {
-			children[p] = append(children[p], e)
+			r.children[p] = append(r.children[p], e)
 		}
 	}
-	head := make(map[logic.Var]bool, len(q.Head))
 	for _, v := range q.Head {
-		head[v] = true
+		r.head[v] = true
 	}
-	// subtreeHead[i]: head variables occurring in i's subtree.
-	var subtreeHead func(i int) map[logic.Var]bool
-	memo := make([]map[logic.Var]bool, n)
-	subtreeHead = func(i int) map[logic.Var]bool {
-		if memo[i] != nil {
-			return memo[i]
-		}
-		out := make(map[logic.Var]bool)
-		for _, v := range vars[i] {
-			if head[v] {
-				out[v] = true
+	return r, nil
+}
+
+// shared returns the join conditions between nodes a and b: one condition
+// per variable they have in common.
+func (r *reduced) shared(a, b int) []relation.JoinOn {
+	var on []relation.JoinOn
+	for ai, v := range r.vars[a] {
+		for bi, w := range r.vars[b] {
+			if v == w {
+				on = append(on, relation.JoinOn{Left: ai, Right: bi})
 			}
 		}
-		for _, c := range children[i] {
-			for v := range subtreeHead(c) {
-				out[v] = true
-			}
-		}
-		memo[i] = out
-		return out
 	}
-	// Bottom-up join with projection.
-	var solve func(i int) ([]logic.Var, *relation.Set)
-	solve = func(i int) ([]logic.Var, *relation.Set) {
-		curVars, cur := vars[i], rels[i]
-		for _, c := range children[i] {
-			cvars, crel := solve(c)
-			var on []relation.JoinOn
-			for ai, v := range curVars {
-				for bi, w := range cvars {
-					if v == w {
-						on = append(on, relation.JoinOn{Left: ai, Right: bi})
-					}
-				}
-			}
-			// Join and immediately project: a single "project-join" operator
-			// whose materialized width is the kept-variable count (duplicate
-			// join columns are never stored).
-			joined := cur.Join(crel, on)
-			// Keep: own vars ∪ head vars of the child's subtree.
-			keep := make(map[logic.Var]bool)
-			for _, v := range curVars {
-				keep[v] = true
-			}
-			for v := range subtreeHead(c) {
-				keep[v] = true
-			}
-			allVars := append(append([]logic.Var(nil), curVars...), cvars...)
-			var newVars []logic.Var
-			var cols []int
-			taken := make(map[logic.Var]bool)
-			for ci, v := range allVars {
-				if keep[v] && !taken[v] {
-					taken[v] = true
-					newVars = append(newVars, v)
-					cols = append(cols, ci)
-				}
-			}
-			cur = joined.Project(cols)
-			curVars = newVars
-			st.observe(cur)
-		}
-		return curVars, cur
+	return on
+}
+
+// subtreeHead returns the head variables occurring in i's subtree.
+func (r *reduced) subtreeHead(i int) map[logic.Var]bool {
+	if r.headMemo[i] != nil {
+		return r.headMemo[i]
 	}
-	rootVars, root := solve(jt.Root)
-	cols := make([]int, len(q.Head))
-	for hi, v := range q.Head {
+	out := make(map[logic.Var]bool)
+	for _, v := range r.vars[i] {
+		if r.head[v] {
+			out[v] = true
+		}
+	}
+	for _, c := range r.children[i] {
+		for v := range r.subtreeHead(c) {
+			out[v] = true
+		}
+	}
+	r.headMemo[i] = out
+	return out
+}
+
+// joinKeep is the project-join operator shared by solve and the streaming
+// group solver: join cur with the child result under the shared-variable
+// conditions, then keep one column per variable in cur's vars ∪ the child
+// subtree's head variables (duplicate join columns are never stored).
+func (r *reduced) joinKeep(curVars []logic.Var, cur *relation.Set, c int, cvars []logic.Var, crel *relation.Set) ([]logic.Var, *relation.Set) {
+	var on []relation.JoinOn
+	for ai, v := range curVars {
+		for bi, w := range cvars {
+			if v == w {
+				on = append(on, relation.JoinOn{Left: ai, Right: bi})
+			}
+		}
+	}
+	joined := cur.Join(crel, on)
+	newVars, cols := keepCols(curVars, cvars, r.subtreeHead(c))
+	out := joined.Project(cols)
+	r.st.observe(out)
+	return newVars, out
+}
+
+// keepCols computes the projection of a cur⋈child concatenation keeping one
+// column per variable in curVars ∪ childHead, in first-occurrence order.
+func keepCols(curVars, cvars []logic.Var, childHead map[logic.Var]bool) ([]logic.Var, []int) {
+	keep := make(map[logic.Var]bool, len(curVars)+len(childHead))
+	for _, v := range curVars {
+		keep[v] = true
+	}
+	for v := range childHead {
+		keep[v] = true
+	}
+	allVars := append(append([]logic.Var(nil), curVars...), cvars...)
+	var newVars []logic.Var
+	var cols []int
+	taken := make(map[logic.Var]bool)
+	for ci, v := range allVars {
+		if keep[v] && !taken[v] {
+			taken[v] = true
+			newVars = append(newVars, v)
+			cols = append(cols, ci)
+		}
+	}
+	return newVars, cols
+}
+
+// solve computes node i's subtree join bottom-up, projecting every
+// intermediate onto the node's variables plus the head variables of its
+// subtree — no intermediate exceeds that arity.
+func (r *reduced) solve(i int) ([]logic.Var, *relation.Set) {
+	curVars, cur := r.vars[i], r.rels[i]
+	for _, c := range r.children[i] {
+		cvars, crel := r.solve(c)
+		curVars, cur = r.joinKeep(curVars, cur, c, cvars, crel)
+	}
+	return curVars, cur
+}
+
+// headCols maps each head variable to its column in rootVars.
+func headCols(head []logic.Var, rootVars []logic.Var) ([]int, error) {
+	cols := make([]int, len(head))
+	for hi, v := range head {
 		cols[hi] = -1
 		for ci, w := range rootVars {
 			if w == v {
@@ -228,12 +296,10 @@ func EvalYannakakisContext(ctx context.Context, q *CQ, db *database.Database) (*
 			}
 		}
 		if cols[hi] < 0 {
-			return nil, nil, fmt.Errorf("queryopt: head variable %s lost during join", v)
+			return nil, fmt.Errorf("queryopt: head variable %s lost during join", v)
 		}
 	}
-	out := root.Project(cols)
-	st.observe(out)
-	return out, st, nil
+	return cols, nil
 }
 
 // ChainCQ builds the length-m path query

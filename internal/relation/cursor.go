@@ -1,0 +1,107 @@
+package relation
+
+import "repro/internal/bitset"
+
+// This file provides streaming cursors over the two relation
+// representations. Both walk tuples in ascending code order, which for the
+// row-major codec (decreasing strides) is lexicographic tuple order — the
+// same order Set.Tuples returns after sorting. That identity is what lets
+// the streaming API promise one canonical order regardless of which backend
+// produced the answer, and it is pinned by TestCursorOrderIdentity.
+//
+// Cursors are single-goroutine values: the Tuple returned by Next is reused
+// across calls, so callers that retain tuples must clone them.
+
+// DenseCursor enumerates the tuples of a Dense relation lazily, decoding one
+// set bit per Next call. Skip advances over whole 64-bit words by popcount
+// without decoding the bits it discards, so seeking to OFFSET costs
+// O(offset/64 + words scanned) rather than O(offset) decodes.
+type DenseCursor struct {
+	d   *Dense
+	bc  bitset.Cursor
+	buf Tuple
+	own bool // Close releases d back to its space's pool
+}
+
+// NewDenseCursor returns a cursor over d. If own is true, Close releases d
+// back to its space's scratch pool; pass own=true exactly when the caller
+// transfers its reference to the cursor.
+func NewDenseCursor(d *Dense, own bool) *DenseCursor {
+	return &DenseCursor{d: d, bc: d.bits.Cursor(), buf: make(Tuple, d.sp.k), own: own}
+}
+
+// Next returns the next tuple in ascending index (lexicographic) order. The
+// returned tuple is reused by subsequent calls.
+func (c *DenseCursor) Next() (Tuple, bool) {
+	idx, ok := c.bc.Next()
+	if !ok {
+		return nil, false
+	}
+	return c.d.sp.Decode(idx, c.buf), true
+}
+
+// Skip advances past up to n tuples and returns how many were skipped.
+func (c *DenseCursor) Skip(n int) int { return c.bc.Skip(n) }
+
+// Count returns the exact number of tuples in the underlying relation
+// (independent of cursor position) — a word-parallel popcount.
+func (c *DenseCursor) Count() int { return c.d.Count() }
+
+// Close releases the underlying Dense if the cursor owns it. Safe to call
+// more than once.
+func (c *DenseCursor) Close() {
+	if c.own && c.d != nil && c.d.bits != nil {
+		c.d.Release()
+	}
+	c.d = nil
+	c.bc = bitset.Cursor{}
+}
+
+// SparseCursor enumerates the tuples of a Sparse relation by walking its
+// sorted code slice. Skip is O(1): a slice index jump.
+type SparseCursor struct {
+	s   *Sparse
+	i   int
+	buf Tuple
+}
+
+// NewSparseCursor returns a cursor over s.
+func NewSparseCursor(s *Sparse) *SparseCursor {
+	return &SparseCursor{s: s, buf: make(Tuple, s.k)}
+}
+
+// Next returns the next tuple in ascending code (lexicographic) order. The
+// returned tuple is reused by subsequent calls.
+func (c *SparseCursor) Next() (Tuple, bool) {
+	if c.s == nil || c.i >= len(c.s.codes) {
+		return nil, false
+	}
+	t := c.s.DecodeInto(c.s.codes[c.i], c.buf)
+	c.i++
+	return t, true
+}
+
+// Skip advances past up to n tuples and returns how many were skipped.
+func (c *SparseCursor) Skip(n int) int {
+	if c.s == nil {
+		return 0
+	}
+	rem := len(c.s.codes) - c.i
+	if n > rem {
+		n = rem
+	}
+	c.i += n
+	return n
+}
+
+// Count returns the exact number of tuples in the underlying relation.
+func (c *SparseCursor) Count() int {
+	if c.s == nil {
+		return 0
+	}
+	return len(c.s.codes)
+}
+
+// Close detaches the cursor. Sparse relations are plain heap values, so
+// there is nothing to release; Close exists for interface symmetry.
+func (c *SparseCursor) Close() { c.s = nil }

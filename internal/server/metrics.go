@@ -63,6 +63,10 @@ func newServerMetrics(s *Server) *serverMetrics {
 		"Requests answered 504 after their evaluation deadline fired.", s.timeouts.Load)
 	r.NewCounterFunc("bvqd_coalesced_total",
 		"Requests served by another request's in-flight evaluation.", s.coalesced.Load)
+	r.NewCounterFunc("bvqd_streams_total",
+		"Requests answered as NDJSON streams.", s.streams.Load)
+	r.NewCounterFunc("bvqd_stream_disconnects_total",
+		"NDJSON streams cut mid-answer by a client disconnect.", s.streamDisconnects.Load)
 
 	r.NewGaugeFunc("bvqd_requests_in_flight",
 		"/query requests currently being handled.", s.requestsInFlight.Load)

@@ -143,6 +143,9 @@ type Server struct {
 	timeouts  atomic.Int64 // requests answered 504
 	coalesced atomic.Int64 // requests served by another request's evaluation
 
+	streams           atomic.Int64 // streamed (NDJSON) /query requests
+	streamDisconnects atomic.Int64 // streams cut by a client disconnect mid-answer
+
 	requestsInFlight atomic.Int64 // /query requests currently being handled
 	evalsInFlight    atomic.Int64 // evaluations currently running (post-dedup)
 
@@ -305,6 +308,24 @@ type QueryRequest struct {
 	// Indices reports answer tuples as domain indices 0..n−1 instead of
 	// raw domain values.
 	Indices bool `json:"indices,omitempty"`
+	// Stream switches the response to NDJSON (application/x-ndjson): a
+	// header line, one line per answer tuple flushed as it decodes, and a
+	// trailer line with the final statistics. Streamed requests evaluate
+	// through the enumeration API — on the compiled engine, a LIMIT-k
+	// stream stops the extraction (and, on the acyclic fast path, the
+	// evaluation itself) after k tuples. Streams bypass single-flight
+	// coalescing but still read the result cache; trace is not supported
+	// with stream.
+	Stream bool `json:"stream,omitempty"`
+	// Limit caps how many answer tuples are returned (after Offset).
+	// 0 means all. The JSON response's count field (and the stream
+	// trailer's, when known) always reports the FULL answer cardinality,
+	// not the window's size. Limit and Offset are excluded from result-cache
+	// keys, so a cached full result serves any windowed request.
+	Limit int `json:"limit,omitempty"`
+	// Offset skips that many answer tuples (in the canonical sorted order)
+	// before returning any. 0 means none.
+	Offset int `json:"offset,omitempty"`
 }
 
 // QueryResponse is the /query success body.
@@ -385,6 +406,11 @@ type StatsJSON struct {
 	// delta-restart maintenance run (the cached result was re-derived after
 	// an update rather than recomputed from scratch).
 	MaintainedFromDelta int64 `json:"maintained_from_delta,omitempty"`
+	// TuplesStreamed and TuplesSkipped are reported by streamed (or
+	// windowed) evaluations: answer tuples decoded and delivered, and
+	// tuples skipped without decoding by OFFSET seeks.
+	TuplesStreamed int64 `json:"tuples_streamed,omitempty"`
+	TuplesSkipped  int64 `json:"tuples_skipped,omitempty"`
 }
 
 func statsJSON(st *eval.Stats) *StatsJSON {
@@ -402,6 +428,8 @@ func statsJSON(st *eval.Stats) *StatsJSON {
 		RepSwitches:           st.RepSwitches,
 		AcyclicFastPath:       st.AcyclicFastPath,
 		MaintainedFromDelta:   st.MaintainedFromDelta,
+		TuplesStreamed:        st.TuplesStreamed,
+		TuplesSkipped:         st.TuplesSkipped,
 	}
 }
 
@@ -458,6 +486,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS < 0 {
 		fail(http.StatusBadRequest,
 			fmt.Errorf("invalid timeout_ms %d: must be ≥ 0 (0 means the server default)", req.TimeoutMS), nil)
+		return
+	}
+	if req.Limit < 0 {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("invalid limit %d: must be ≥ 0 (0 means all tuples)", req.Limit), nil)
+		return
+	}
+	if req.Offset < 0 {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("invalid offset %d: must be ≥ 0", req.Offset), nil)
+		return
+	}
+	if req.Stream && req.Trace {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("trace is not supported with stream: the trace belongs to the JSON response body"), nil)
 		return
 	}
 	nd, ok := s.dbs[req.Database]
@@ -551,6 +594,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Backend != "" {
 		resp.Backend = backend.String()
+	}
+
+	if req.Stream {
+		status = s.streamQuery(ctx, w, r, &req, nd, snap, pl, engine, engineName, opts, key, &resp, start)
+		return
 	}
 
 	// A traced request must run the evaluation itself: a cache read or a
@@ -663,23 +711,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if out.err != nil {
-		switch {
-		case errors.Is(out.err, errOverloaded):
-			s.metrics.shed.Inc()
-			w.Header().Set("Retry-After", s.retryAfter)
-			fail(http.StatusTooManyRequests, out.err, nil)
-		case errors.Is(out.err, context.DeadlineExceeded) || errors.Is(out.err, context.Canceled):
-			s.timeouts.Add(1)
-			fail(http.StatusGatewayTimeout, out.err, statsJSON(out.stats))
-		case errors.Is(out.err, errEvalPanic) || errors.Is(out.err, cache.ErrPanicked):
-			fail(http.StatusInternalServerError, out.err, nil)
-		default:
-			fail(http.StatusUnprocessableEntity, out.err, nil)
+		code := s.evalErrorCode(w, out.err)
+		var partial *StatsJSON
+		if code == http.StatusGatewayTimeout {
+			partial = statsJSON(out.stats)
 		}
+		fail(code, out.err, partial)
 		return
 	}
 
 	resp.Stats = statsJSON(out.stats)
+	// Count is always the FULL answer cardinality — limit/offset window the
+	// answer field only, so a paging client never loses the total.
 	resp.Count = out.answer.Len()
 	if resp.Arity == 0 {
 		truth := out.answer.Len() > 0
@@ -687,17 +730,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Answer = [][]int{}
 	} else {
 		tuples := out.answer.Tuples() // canonical sorted order: deterministic bodies
+		if req.Offset > 0 {
+			if req.Offset >= len(tuples) {
+				tuples = nil
+			} else {
+				tuples = tuples[req.Offset:]
+			}
+		}
+		if req.Limit > 0 && req.Limit < len(tuples) {
+			tuples = tuples[:req.Limit]
+		}
 		resp.Answer = make([][]int, len(tuples))
 		for i, t := range tuples {
-			row := make([]int, len(t))
-			for j, v := range t {
-				if req.Indices {
-					row[j] = v
-				} else {
-					row[j] = snap.db.Value(v)
-				}
-			}
-			resp.Answer[i] = row
+			resp.Answer[i] = renderTuple(t, snap.db, req.Indices)
 		}
 	}
 	if req.Trace {
@@ -708,6 +753,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// evalErrorCode maps an evaluation error to its response status, applying
+// the per-class side effects on the way: shed counting plus the Retry-After
+// header for 429, and the timeout counter for 504.
+func (s *Server) evalErrorCode(w http.ResponseWriter, err error) int {
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.metrics.shed.Inc()
+		w.Header().Set("Retry-After", s.retryAfter)
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.timeouts.Add(1)
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errEvalPanic) || errors.Is(err, cache.ErrPanicked):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // fail writes an error response and counts it.
@@ -740,11 +804,16 @@ type StatsResponse struct {
 	Panics        int64              `json:"panics"`
 	SlowQueries   int64              `json:"slow_queries"`
 	Coalesced     int64              `json:"coalesced"`
-	InFlight      InFlightStats      `json:"in_flight"`
-	PlanCache     CacheStats         `json:"plan_cache"`
-	ResultCache   CacheStats         `json:"result_cache"`
-	Churn         ChurnStats         `json:"churn"`
-	Eval          AggregateEvalStats `json:"eval"`
+	// Streams counts /query requests answered as NDJSON streams;
+	// StreamDisconnects counts those cut mid-answer by the client going
+	// away (a disconnect is not an error: it is not counted in Errors).
+	Streams           int64              `json:"streams"`
+	StreamDisconnects int64              `json:"stream_disconnects"`
+	InFlight          InFlightStats      `json:"in_flight"`
+	PlanCache         CacheStats         `json:"plan_cache"`
+	ResultCache       CacheStats         `json:"result_cache"`
+	Churn             ChurnStats         `json:"churn"`
+	Eval              AggregateEvalStats `json:"eval"`
 }
 
 // ChurnStats reports how updates and the result cache interact: per cached
@@ -823,15 +892,17 @@ func (s *Server) Stats() StatsResponse {
 		}
 	}
 	return StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Databases:     dbs,
-		Queries:       s.queries.Load(),
-		Errors:        s.errorsN.Load(),
-		Timeouts:      s.timeouts.Load(),
-		Shed:          s.metrics.shed.Value(),
-		Panics:        s.metrics.panics.Value(),
-		SlowQueries:   s.metrics.slow.Value(),
-		Coalesced:     s.coalesced.Load(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Databases:         dbs,
+		Queries:           s.queries.Load(),
+		Errors:            s.errorsN.Load(),
+		Timeouts:          s.timeouts.Load(),
+		Shed:              s.metrics.shed.Value(),
+		Panics:            s.metrics.panics.Value(),
+		SlowQueries:       s.metrics.slow.Value(),
+		Coalesced:         s.coalesced.Load(),
+		Streams:           s.streams.Load(),
+		StreamDisconnects: s.streamDisconnects.Load(),
 		InFlight: InFlightStats{
 			Requests: s.requestsInFlight.Load(),
 			Evals:    s.evalsInFlight.Load(),
