@@ -13,15 +13,18 @@ all: vet test build
 # streaming differential, which checks ~200 random formulas enumerate
 # byte-identically to their materialized answers across backends and
 # engines — the compiled scheduler called out by name so a regression
-# there is visible by name, a single-iteration benchmark smoke pass so
-# the benchmarks themselves cannot rot, and a curl-level NDJSON smoke
-# against a live bvqd so the streaming wire format cannot rot either.
+# there is visible by name, the metrics-documentation lint so the
+# OPERATIONS.md family reference cannot drift from what the server
+# registers, a single-iteration benchmark smoke pass so the benchmarks
+# themselves cannot rot, and a curl-level NDJSON smoke against a live
+# bvqd so the streaming wire format cannot rot either.
 check: docs
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(GO) test -race -count=1 ./internal/server/ ./internal/cache/ ./internal/metrics/
 	$(GO) test -race -count=1 -run 'TestDifferential|TestCompiled|TestChurn|TestMaintain|TestUpdate|TestEnum|TestStream' ./internal/eval/ ./internal/server/
 	$(GO) test -count=1 -run 'TestSparseLargeDomainTC' ./internal/eval/
+	$(GO) test -count=1 -run 'TestMetricsDocumented' ./internal/server/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/eval/ ./internal/relation/ ./internal/bitset/
 	./scripts/stream_smoke.sh
 

@@ -22,6 +22,12 @@
 // on the compiled engine's acyclic fast path, without ever building the
 // product. -limit/-offset also window the answer without -stream (the
 // window is cut after materialization there).
+//
+// With -explain, the query is compiled and executed on the compiled engine
+// and the annotated plan DAG is printed instead of the answer: per node the
+// operator, evaluation count and cumulative wall time; per fixpoint binder
+// the stages run and delta tuples; plus the density decision and the
+// backend route the evaluator picked (dense, sparse, hybrid, acyclic).
 package main
 
 import (
@@ -31,8 +37,11 @@ import (
 	"io"
 	"os"
 	"strings"
+	"sync"
 
 	"repro"
+	"repro/internal/eval"
+	"repro/internal/plan"
 	"repro/internal/relation"
 )
 
@@ -48,8 +57,16 @@ func main() {
 		stream  = flag.Bool("stream", false, "stream tuples through the enumeration API (limit stops extraction early)")
 		limit   = flag.Int("limit", 0, "print at most N answer tuples (0: all)")
 		offset  = flag.Int("offset", 0, "skip the first N answer tuples")
+		explain = flag.Bool("explain", false, "run on the compiled engine and print the annotated plan tree instead of the answer")
 	)
 	flag.Parse()
+	if *explain {
+		if err := runExplain(*dbPath, *query, *qFile, *k, *stream, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "bvq:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*dbPath, *query, *qFile, *engine, *k, *stats, *showIdx, *stream, *limit, *offset, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bvq:", err)
 		os.Exit(1)
@@ -63,25 +80,7 @@ func run(dbPath, query, qFile, engineName string, k int, stats, showIdx, stream 
 	if limit < 0 || offset < 0 {
 		return fmt.Errorf("-limit and -offset must be ≥ 0")
 	}
-	text, err := os.ReadFile(dbPath)
-	if err != nil {
-		return err
-	}
-	db, err := bvq.ParseDatabase(string(text))
-	if err != nil {
-		return err
-	}
-	if query == "" && qFile != "" {
-		qt, err := os.ReadFile(qFile)
-		if err != nil {
-			return err
-		}
-		query = strings.TrimSpace(string(qt))
-	}
-	if query == "" {
-		return fmt.Errorf("missing -query or -query-file")
-	}
-	q, err := bvq.ParseQuery(query)
+	db, q, err := loadInputs(dbPath, query, qFile)
 	if err != nil {
 		return err
 	}
@@ -126,6 +125,93 @@ func run(dbPath, query, qFile, engineName string, k int, stats, showIdx, stream 
 			return err
 		}
 	}
+	fmt.Fprintf(stderr, "%d tuple(s)\n", ans.Len())
+	return nil
+}
+
+// loadInputs reads and parses the database file and the query text (inline
+// or from -query-file).
+func loadInputs(dbPath, query, qFile string) (*bvq.Database, bvq.Query, error) {
+	text, err := os.ReadFile(dbPath)
+	if err != nil {
+		return nil, bvq.Query{}, err
+	}
+	db, err := bvq.ParseDatabase(string(text))
+	if err != nil {
+		return nil, bvq.Query{}, err
+	}
+	if query == "" && qFile != "" {
+		qt, err := os.ReadFile(qFile)
+		if err != nil {
+			return nil, bvq.Query{}, err
+		}
+		query = strings.TrimSpace(string(qt))
+	}
+	if query == "" {
+		return nil, bvq.Query{}, fmt.Errorf("missing -query or -query-file")
+	}
+	q, err := bvq.ParseQuery(query)
+	if err != nil {
+		return nil, bvq.Query{}, err
+	}
+	return db, q, nil
+}
+
+// runExplain compiles the query, executes it on the compiled engine with a
+// per-node profile and a fixpoint tracer attached, and prints the annotated
+// plan tree — the CLI twin of the server's "explain": true request mode.
+func runExplain(dbPath, query, qFile string, k int, stream bool, stdout, stderr io.Writer) error {
+	if stream {
+		return fmt.Errorf("-explain and -stream are mutually exclusive")
+	}
+	db, q, err := loadInputs(dbPath, query, qFile)
+	if err != nil {
+		return err
+	}
+	p, err := plan.Compile(q)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	binders := map[int]*struct{ stages, delta, ns int64 }{}
+	opts := &eval.Options{
+		MaxWidth: k,
+		Profile:  eval.NewPlanProfile(p.NumNodes()),
+		Tracer: func(ev eval.TraceEvent) {
+			if ev.Binder < 0 {
+				return
+			}
+			mu.Lock()
+			a := binders[ev.Binder]
+			if a == nil {
+				a = &struct{ stages, delta, ns int64 }{}
+				binders[ev.Binder] = a
+			}
+			a.stages++
+			if ev.Delta < 0 {
+				a.delta -= int64(ev.Delta)
+			} else {
+				a.delta += int64(ev.Delta)
+			}
+			a.ns += ev.Elapsed.Nanoseconds()
+			mu.Unlock()
+		},
+	}
+	den, route := eval.ExplainRoute(p, db, opts)
+	ans, st, err := eval.EvalPlanContext(context.Background(), p, db, opts)
+	if err != nil {
+		return err
+	}
+	ex := p.Explain(den)
+	if st != nil && st.AcyclicFastPath > 0 {
+		route = "acyclic"
+	}
+	ex.Route = route
+	ex.AttachProfile(opts.Profile.Evals, opts.Profile.NS)
+	for b, a := range binders {
+		ex.AttachBinderStages(b, a.stages, a.delta, a.ns)
+	}
+	ex.Render(stdout)
 	fmt.Fprintf(stderr, "%d tuple(s)\n", ans.Len())
 	return nil
 }

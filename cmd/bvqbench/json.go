@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 	"time"
 
@@ -78,11 +79,59 @@ func toStatsJSON(st *eval.Stats) *statsJSON {
 	}
 }
 
+// Meta is the leading line of a -json run: when and on what the numbers
+// were taken, so archived benchmark files (scripts/bench_trajectory.sh's
+// BENCH_<pr>.json) are comparable across machines and revisions without
+// out-of-band notes.
+type Meta struct {
+	Meta      bool   `json:"meta"` // always true; discriminates from Record lines
+	Date      string `json:"date"` // RFC 3339 UTC
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"` // VCS commit, "-dirty" suffixed
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Quick     bool   `json:"quick"`
+}
+
+func metaRecord(quick bool) Meta {
+	m := Meta{
+		Meta:      true,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Quick:     quick,
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "-dirty"
+				}
+			}
+		}
+		if rev != "" {
+			m.Revision = rev + dirty
+		}
+	}
+	return m
+}
+
 // runJSON executes the engine-comparison workloads and prints one Record per
-// line. It replaces the human-readable sweeps entirely: -json is for CI and
-// EXPERIMENTS.md regeneration, where parsing prose tables is the enemy.
+// line, after a leading Meta line. It replaces the human-readable sweeps
+// entirely: -json is for CI and EXPERIMENTS.md regeneration, where parsing
+// prose tables is the enemy.
 func runJSON(quick bool) {
 	enc := json.NewEncoder(os.Stdout)
+	if err := enc.Encode(metaRecord(quick)); err != nil {
+		die(err)
+	}
 	for _, r := range jsonRecords(quick) {
 		if err := enc.Encode(r); err != nil {
 			die(err)

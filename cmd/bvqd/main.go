@@ -28,6 +28,8 @@
 //	GET  /stats             JSON counters: caches, churn, in-flight gauges, aggregate work
 //	GET  /metrics           Prometheus text-format metrics
 //	GET  /healthz           liveness
+//	GET  /version           build info (go version, VCS revision)
+//	GET  /debug/traces      flight recorder: recent request traces (and /debug/traces/{id})
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -90,6 +92,9 @@ func main() {
 		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		slowQuery      = flag.Duration("slow-query", time.Second, "log requests at least this slow as JSON on stderr (0: disable)")
 		pprofAddr      = flag.String("pprof", "", "serve /debug/pprof on this separate address (empty: disabled)")
+		traceBuffer    = flag.Int("trace-buffer", 256, "flight-recorder ring size: keep the last N request traces for GET /debug/traces (0: disable lifecycle tracing)")
+		traceKeep      = flag.Int("trace-keep", 0, "always-keep buffer for slow/error/shed traces (0: trace-buffer/4, min 8)")
+		traceSample    = flag.Int("trace-sample", 1, "record 1 in N requests into the flight recorder (1: every request)")
 	)
 	flag.Var(dbs, "db", "serve a database as name=path (repeatable); required")
 	flag.Parse()
@@ -103,6 +108,9 @@ func main() {
 		RetryAfter:         *retryAfter,
 		SlowQuery:          *slowQuery,
 		Logger:             slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+		TraceBufferSize:    *traceBuffer,
+		TraceKeepSize:      *traceKeep,
+		TraceSample:        *traceSample,
 	}
 	if err := run(dbs, *addr, *pprofAddr, *ordered, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "bvqd:", err)

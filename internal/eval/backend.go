@@ -162,6 +162,47 @@ func evalPlanRouted(ctx context.Context, p *plan.Plan, db *database.Database, op
 	}
 }
 
+// ExplainRoute reports the backend route evalPlanRouted would take for this
+// plan against this database — "dense", "sparse", or "hybrid" — together
+// with the density analysis behind the decision, without evaluating
+// anything. The route is the planned one: a sparse run may still be served
+// by the Yannakakis fast path (visible post-run as Stats.AcyclicFastPath),
+// and a sparse-budget overrun under BackendAuto falls back to dense. The
+// empty route means the query is unevaluable (dense space infeasible and
+// sparse unavailable, or a forced backend that cannot run it).
+func ExplainRoute(p *plan.Plan, db *database.Database, opts *Options) (*plan.Density, string) {
+	den := p.Density(db.Size(), cardOf(db))
+	denseRoute := func() string {
+		if hybridDensity(den) != nil {
+			return "hybrid"
+		}
+		return "dense"
+	}
+	switch backendOf(opts) {
+	case BackendDense:
+		if !den.SpaceFeasible {
+			return den, ""
+		}
+		return den, "dense"
+	case BackendSparse:
+		if !den.SparseOK {
+			return den, ""
+		}
+		return den, "sparse"
+	default:
+		if !den.SpaceFeasible {
+			if !den.SparseOK {
+				return den, ""
+			}
+			return den, "sparse"
+		}
+		if den.PreferSparse() {
+			return den, "sparse"
+		}
+		return den, denseRoute()
+	}
+}
+
 // hybridDensity returns den when it labels a sparse frontier for the dense
 // executor, nil otherwise (pure dense run, zero overhead).
 func hybridDensity(den *plan.Density) *plan.Density {

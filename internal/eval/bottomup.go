@@ -392,7 +392,7 @@ func (c *buCtx) evalFix(g logic.Fix) (*relation.Dense, error) {
 		if tr != nil {
 			stage++
 			n := next.Count()
-			tr(TraceEvent{Engine: "bottomup", Fixpoint: g.Rel, Op: g.Op.String(),
+			tr(TraceEvent{Engine: "bottomup", Fixpoint: g.Rel, Op: g.Op.String(), Binder: -1,
 				Stage: stage, Tuples: n, Delta: n - prevCount, Elapsed: time.Since(stageStart)})
 			prevCount = n
 		}
@@ -559,7 +559,7 @@ func (c *buCtx) pfpOne(g logic.Fix, msp *relation.Space, varAxes, paramAxes, ass
 		if tr != nil {
 			stage++
 			n := next.Count()
-			tr(TraceEvent{Engine: "bottomup", Fixpoint: g.Rel, Op: g.Op.String(),
+			tr(TraceEvent{Engine: "bottomup", Fixpoint: g.Rel, Op: g.Op.String(), Binder: -1,
 				Stage: stage, Tuples: n, Delta: n - s.Count(), Elapsed: time.Since(stageStart)})
 		}
 		return next, nil

@@ -116,6 +116,7 @@ func evalPlanDenseHead(ctx context.Context, p *plan.Plan, db *database.Database,
 		valCnt:  make([]int, len(p.Nodes)),
 		deltas:  make([]*relation.Dense, len(p.Nodes)),
 		binding: make([]*relation.Dense, p.NumBinders),
+		prof:    profileOf(opts),
 	}
 	if seed != nil {
 		r.seed = seed.stages
@@ -181,6 +182,11 @@ type cpRun struct {
 	// receives each seedable binder's final stage as a sparse set.
 	seed     []*relation.Set
 	captured []*relation.Set
+	// prof, when non-nil, accumulates per-node eval counts and wall time for
+	// explain mode. Timing is inclusive of on-demand child computation: the
+	// wave scheduler computes nodes in topological order, so for stage work
+	// inclusive ≈ self; only first-touch cold descents overlap.
+	prof *PlanProfile
 }
 
 // fork returns a run for a PFP sweep worker: independent node cache and
@@ -205,6 +211,7 @@ func (r *cpRun) fork() *cpRun {
 		valCnt:  append([]int(nil), r.valCnt...),
 		deltas:  make([]*relation.Dense, len(r.deltas)),
 		binding: append([]*relation.Dense(nil), r.binding...),
+		prof:    r.prof,
 	}
 }
 
@@ -215,7 +222,14 @@ func (r *cpRun) evalNode(n int) (*relation.Dense, error) {
 	if r.valid[n] {
 		return r.val[n], nil
 	}
+	var t0 time.Time
+	if r.prof != nil {
+		t0 = time.Now()
+	}
 	d, owned, err := r.computeNode(n)
+	if r.prof != nil {
+		r.prof.observe(n, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -425,7 +439,7 @@ func (r *cpRun) evalFix(n int) (*relation.Dense, error) {
 	}
 	trace := func(start time.Time, tuples int) {
 		stage++
-		tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(),
+		tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(), Binder: fx.Binder,
 			Stage: stage, Tuples: tuples, Delta: tuples - prevCount, Elapsed: time.Since(start)})
 		prevCount = tuples
 	}
@@ -538,6 +552,10 @@ func (r *cpRun) deltaStage(b int, deltaExt *relation.Dense, esp *relation.Space)
 	}()
 	for _, n := range sched {
 		nd := &p.Nodes[n]
+		var t0 time.Time
+		if r.prof != nil {
+			t0 = time.Now()
+		}
 		var dv *relation.Dense
 		switch nd.Op {
 		case plan.OpAtom:
@@ -578,6 +596,9 @@ func (r *cpRun) deltaStage(b int, deltaExt *relation.Dense, esp *relation.Space)
 		}
 		added := dv.DifferenceSparse(r.val[n])
 		if added == 0 {
+			if r.prof != nil {
+				r.prof.observe(n, time.Since(t0))
+			}
 			dv.Release()
 			continue
 		}
@@ -590,6 +611,9 @@ func (r *cpRun) deltaStage(b int, deltaExt *relation.Dense, esp *relation.Space)
 		r.valCnt[n] += added
 		r.stats.addSubformulaEvals(1)
 		r.stats.observe(r.sp.Arity(), r.valCnt[n])
+		if r.prof != nil {
+			r.prof.observe(n, time.Since(t0))
+		}
 		r.deltas[n] = dv
 	}
 	dB := r.deltas[fx.Body]
@@ -839,7 +863,7 @@ func (r *cpRun) pfpRun(n int, msp *relation.Space, assign []int, mode CycleMode,
 		if tr != nil {
 			stage++
 			nc := next.Count()
-			tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(),
+			tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(), Binder: fx.Binder,
 				Stage: stage, Tuples: nc, Delta: nc - s.Count(), Elapsed: time.Since(stageStart)})
 		}
 		return next, nil

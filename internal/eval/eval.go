@@ -91,6 +91,14 @@ type Options struct {
 	// scheduler fire it from several workers at once. Tracer never changes
 	// answers, so it is excluded from result-cache keys.
 	Tracer Tracer
+	// Profile, when non-nil, receives per-plan-node execution counters from
+	// the Compiled engine (both the dense and sparse executors): evaluation
+	// counts and cumulative wall time per DAG node, the data behind the
+	// server's explain mode. A nil Profile is zero-cost — the executors
+	// hoist the nil check like they do for Tracer. Profile never changes
+	// answers, so it is excluded from result-cache keys. Tree-walking
+	// engines have no plan nodes and ignore it.
+	Profile *PlanProfile
 }
 
 // Tracer is the stage-boundary observation hook of Options. See
@@ -121,6 +129,11 @@ type TraceEvent struct {
 	// Elapsed is the wall-clock time this stage took, including the body
 	// re-evaluation that produced it.
 	Elapsed time.Duration
+	// Binder is the plan binder id this fixpoint run belongs to for the
+	// Compiled engine (dense and sparse executors), so a trace consumer can
+	// attach stage work to the exact plan.FixInfo it iterated. The
+	// tree-walking engines (bottomup, monotone) have no plan and report -1.
+	Binder int
 }
 
 // tracerOf resolves the Options.Tracer hook (nil Options means no tracing).
@@ -129,6 +142,47 @@ func tracerOf(opts *Options) Tracer {
 		return nil
 	}
 	return opts.Tracer
+}
+
+// profileOf resolves the Options.Profile hook (nil Options means no
+// profiling).
+func profileOf(opts *Options) *PlanProfile {
+	if opts == nil {
+		return nil
+	}
+	return opts.Profile
+}
+
+// PlanProfile accumulates per-plan-node execution counters for one (or
+// several pooled) Compiled evaluations: how many times each DAG node was
+// computed and the cumulative wall time those computations took. Counters
+// are atomic — the parallel wave scheduler and the PFP sweep compute nodes
+// from several goroutines at once — so the slices are safe to read only
+// after the evaluation returns.
+//
+// Time is INCLUSIVE: a node computed on demand inside another node's
+// computation (a cache miss during recursive descent) is charged to both.
+// Under the wave scheduler nodes are computed in topological order, so
+// children are cache hits and inclusive ≈ self for the per-stage dirty
+// work; the first evaluation of a hoisted chain is the main double-counted
+// case. Explain output labels the column accordingly.
+type PlanProfile struct {
+	// Evals[n] counts node n's computations (cache misses, not visits).
+	Evals []int64
+	// NS[n] is the cumulative wall time of node n's computations, in
+	// nanoseconds, inclusive of on-demand child computation.
+	NS []int64
+}
+
+// NewPlanProfile returns a profile sized for a plan of n nodes.
+func NewPlanProfile(n int) *PlanProfile {
+	return &PlanProfile{Evals: make([]int64, n), NS: make([]int64, n)}
+}
+
+// observe records one computation of node n.
+func (pp *PlanProfile) observe(n int, d time.Duration) {
+	atomic.AddInt64(&pp.Evals[n], 1)
+	atomic.AddInt64(&pp.NS[n], d.Nanoseconds())
 }
 
 // parallelism resolves the Options.Parallelism knob.

@@ -225,7 +225,7 @@ func (c *monoCtx) evalFix(g logic.Fix, path string) (*relation.Dense, error) {
 		}
 		if tr != nil {
 			stage++
-			tr(TraceEvent{Engine: "monotone", Fixpoint: g.Rel, Op: g.Op.String(),
+			tr(TraceEvent{Engine: "monotone", Fixpoint: g.Rel, Op: g.Op.String(), Binder: -1,
 				Stage: stage, Tuples: next.Len(), Delta: next.Len() - cur.Len(), Elapsed: time.Since(stageStart)})
 		}
 		if next.Equal(cur) {

@@ -65,6 +65,9 @@ type spRun struct {
 	sdelta []*sval
 	// binding[b] is binder b's current stage, columns in ExtCols order.
 	binding []*relation.Sparse
+	// prof, when non-nil, accumulates per-node eval counts and wall time for
+	// explain mode (inclusive of on-demand child computation, as in cpRun).
+	prof *PlanProfile
 }
 
 func newSpRun(ctx context.Context, p *plan.Plan, db *database.Database, opts *Options, den *plan.Density, stats *Stats) *spRun {
@@ -81,6 +84,7 @@ func newSpRun(ctx context.Context, p *plan.Plan, db *database.Database, opts *Op
 		valid:   make([]bool, len(p.Nodes)),
 		sdelta:  make([]*sval, len(p.Nodes)),
 		binding: make([]*relation.Sparse, p.NumBinders),
+		prof:    profileOf(opts),
 	}
 }
 
@@ -95,7 +99,14 @@ func (r *spRun) evalNode(nid int) (*sval, error) {
 	if r.valid[nid] {
 		return r.val[nid], nil
 	}
+	var t0 time.Time
+	if r.prof != nil {
+		t0 = time.Now()
+	}
 	sv, err := r.computeNode(nid)
+	if r.prof != nil {
+		r.prof.observe(nid, time.Since(t0))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -565,7 +576,7 @@ func (r *spRun) evalFix(nid int) (*sval, error) {
 	var stage, prevCount int
 	trace := func(start time.Time, tuples int) {
 		stage++
-		tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(),
+		tr(TraceEvent{Engine: "compiled", Fixpoint: fx.Rel, Op: fx.Op.String(), Binder: fx.Binder,
 			Stage: stage, Tuples: tuples, Delta: tuples - prevCount, Elapsed: time.Since(start)})
 		prevCount = tuples
 	}

@@ -318,6 +318,20 @@ func (r *Registry) NewHistogramVec(name, help, label string, buckets []float64) 
 	return v
 }
 
+// Families returns the registered family names in sorted order — the
+// ground truth the metrics-documentation lint test compares OPERATIONS.md
+// against.
+func (r *Registry) Families() []string {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+	return names
+}
+
 // WriteTo renders every registered family in Prometheus text format,
 // families sorted by name, each preceded by its # HELP and # TYPE lines.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {

@@ -20,6 +20,7 @@ type serverMetrics struct {
 	slow     *metrics.Counter      // bvqd_slow_queries_total
 	statuses *metrics.CounterVec   // bvqd_responses_total{code}
 	backends *metrics.CounterVec   // bvqd_queries_by_backend_total{backend}
+	stages   *metrics.HistogramVec // bvqd_stage_seconds{stage}
 
 	updates       *metrics.Counter    // bvqd_updates_total
 	maintained    *metrics.Counter    // bvqd_maintained_results_total
@@ -43,6 +44,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"Responses to /query by HTTP status code.", "code"),
 		backends: r.NewCounterVec("bvqd_queries_by_backend_total",
 			"Requests by requested relation backend (auto, dense, sparse).", "backend"),
+		stages: r.NewHistogramVec("bvqd_stage_seconds",
+			"Per-stage request latency (admission_wait, cache_lookup, compile, eval, fixpoint, extract, stream_drain), sampled at the flight-recorder rate.",
+			"stage", metrics.DefBuckets),
 		updates: r.NewCounter("bvqd_updates_total",
 			"Effective database updates applied via /db/{name}/update."),
 		maintained: r.NewCounter("bvqd_maintained_results_total",
@@ -117,6 +121,19 @@ func newServerMetrics(s *Server) *serverMetrics {
 	r.NewCounterFunc("bvqd_eval_acyclic_fastpath_total",
 		"Queries answered by the Yannakakis acyclic-join fast path.",
 		s.acyclicFast.Load)
+
+	r.NewCounterFunc("bvqd_traces_recorded_total",
+		"Finished request traces filed with the flight recorder.",
+		func() int64 { return s.recorder.Recorded() })
+	r.NewCounterFunc("bvqd_traces_kept_total",
+		"Traces retained in the always-keep buffer (slow, error, shed).",
+		func() int64 { return s.recorder.Kept() })
+	r.NewGaugeFunc("bvqd_trace_ring_size",
+		"Traces currently retained in the flight-recorder ring.",
+		func() int64 { ring, _ := s.recorder.Len(); return int64(ring) })
+	r.NewGaugeFunc("bvqd_trace_keep_size",
+		"Traces currently retained in the always-keep buffer.",
+		func() int64 { _, keep := s.recorder.Len(); return int64(keep) })
 
 	r.NewGaugeFunc("bvqd_uptime_seconds",
 		"Seconds since the server started.",

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// metricTokenRE matches a metric family mention in OPERATIONS.md, including
+// brace-expansion shorthand (`bvqd_plan_cache_{hits,misses,evictions}_total`)
+// and label annotations (`bvqd_responses_total{code}`).
+var metricTokenRE = regexp.MustCompile(`bvqd_[a-z0-9_]*(?:\{[a-z0-9_,]+\}[a-z0-9_]*)*`)
+
+// expandDocToken turns one matched token into the family names it documents:
+// a trailing `{label}` is an annotation and is stripped; an interior
+// `{a,b,c}` expands into one name per alternative.
+func expandDocToken(tok string) []string {
+	open := strings.Index(tok, "{")
+	if open < 0 {
+		return []string{tok}
+	}
+	close := strings.Index(tok, "}")
+	head, alts, tail := tok[:open], tok[open+1:close], tok[close+1:]
+	if tail == "" && !strings.Contains(alts, ",") {
+		return []string{head} // label annotation, not expansion
+	}
+	var out []string
+	for _, a := range strings.Split(alts, ",") {
+		out = append(out, expandDocToken(head+a+tail)...)
+	}
+	return out
+}
+
+// TestMetricsDocumented is the metrics-documentation lint: every family the
+// server registers must appear in OPERATIONS.md, and every bvqd_* family
+// OPERATIONS.md mentions must actually be registered — so the reference
+// section cannot drift from the code in either direction.
+func TestMetricsDocumented(t *testing.T) {
+	s, _ := newTestServer(t, Config{TraceBufferSize: 16})
+	doc, err := os.ReadFile("../../OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	documented := make(map[string]bool)
+	for _, tok := range metricTokenRE.FindAllString(string(doc), -1) {
+		for _, name := range expandDocToken(tok) {
+			documented[name] = true
+		}
+	}
+	registered := make(map[string]bool)
+	for _, name := range s.metrics.registry.Families() {
+		registered[name] = true
+		if !documented[name] {
+			t.Errorf("metric %s is registered but not documented in OPERATIONS.md", name)
+		}
+	}
+	for name := range documented {
+		if !registered[name] {
+			t.Errorf("OPERATIONS.md documents %s but the server does not register it", name)
+		}
+	}
+}

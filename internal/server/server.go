@@ -62,6 +62,8 @@ import (
 	"repro/internal/cache"
 	"repro/internal/database"
 	"repro/internal/eval"
+	"repro/internal/plan"
+	"repro/internal/trace"
 )
 
 // Config configures a Server.
@@ -98,6 +100,17 @@ type Config struct {
 	// Logger receives structured logs (slow queries, recovered panics).
 	// nil means discard.
 	Logger *slog.Logger
+	// TraceBufferSize enables the flight recorder: the last N finished
+	// request traces are kept in memory and served on GET /debug/traces.
+	// 0 disables lifecycle tracing entirely (the zero-overhead default).
+	TraceBufferSize int
+	// TraceKeepSize bounds the always-keep buffer holding slow/error/shed
+	// traces regardless of ring churn. 0 means TraceBufferSize/4, min 8.
+	TraceKeepSize int
+	// TraceSample records 1 in N requests into the flight recorder (slow,
+	// error and shed requests are always candidates once traced — sampling
+	// decides whether a trace is built at all). 0 or 1 means every request.
+	TraceSample int
 }
 
 // Cache sizing defaults. Plans are small (an AST per distinct query text);
@@ -121,14 +134,16 @@ var errEvalPanic = errors.New("server: evaluation panicked")
 // Server is the bvqd HTTP query service. Construct with New; serve
 // Handler(); all methods are safe for concurrent use.
 type Server struct {
-	dbs     map[string]*namedDB
-	plans   *cache.PlanCache
-	results *cache.ResultCache
-	index   *cache.Index
-	flight  *cache.Flight[evalOutcome]
-	limiter *limiter
-	metrics *serverMetrics
-	logger  *slog.Logger
+	dbs      map[string]*namedDB
+	plans    *cache.PlanCache
+	results  *cache.ResultCache
+	index    *cache.Index
+	flight   *cache.Flight[evalOutcome]
+	limiter  *limiter
+	metrics  *serverMetrics
+	logger   *slog.Logger
+	recorder *trace.Recorder // nil: lifecycle tracing disabled
+	sample   int64           // record 1 in sample requests
 
 	defaultTimeout time.Duration
 	maxTimeout     time.Duration
@@ -226,6 +241,17 @@ func New(cfg Config) (*Server, error) {
 		slowQuery:      cfg.SlowQuery,
 		retryAfter:     strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second)),
 		start:          time.Now(),
+		sample:         1,
+	}
+	if cfg.TraceSample > 1 {
+		s.sample = int64(cfg.TraceSample)
+	}
+	if cfg.TraceBufferSize > 0 {
+		keep := cfg.TraceKeepSize
+		if keep <= 0 {
+			keep = max(cfg.TraceBufferSize/4, 8)
+		}
+		s.recorder = trace.NewRecorder(cfg.TraceBufferSize, keep)
 	}
 	for name, db := range cfg.Databases {
 		if name == "" || db == nil {
@@ -250,6 +276,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.metrics.registry.ServeHTTP)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /version", s.handleVersion)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
 	return s.recoverPanics(mux)
 }
 
@@ -326,6 +355,13 @@ type QueryRequest struct {
 	// Offset skips that many answer tuples (in the canonical sorted order)
 	// before returning any. 0 means none.
 	Offset int `json:"offset,omitempty"`
+	// Explain returns the compiled plan DAG annotated with the density
+	// decision, maintenance eligibility and backend route, plus per-node
+	// wall time and per-binder stage counts from this run. Requires the
+	// compiled engine; like trace, an explained request always evaluates
+	// fresh (the annotations must describe this run). Not supported with
+	// stream.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // QueryResponse is the /query success body.
@@ -362,6 +398,12 @@ type QueryResponse struct {
 	// TraceTruncated reports that it was cut at the event cap.
 	Trace          []TraceStageJSON `json:"trace,omitempty"`
 	TraceTruncated bool             `json:"trace_truncated,omitempty"`
+	// TraceID is the W3C trace ID of this request's lifecycle trace when the
+	// flight recorder sampled it; the trace is retrievable at
+	// GET /debug/traces/{id} until it ages out of the ring.
+	TraceID string `json:"trace_id,omitempty"`
+	// Explain is the annotated plan DAG when the request set explain.
+	Explain *plan.Explain `json:"explain,omitempty"`
 }
 
 // TraceStageJSON is one fixpoint stage of a traced evaluation.
@@ -439,24 +481,73 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.requestsInFlight.Add(1)
 	defer s.requestsInFlight.Add(-1)
 
-	reqID := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+	seq := s.reqSeq.Add(1)
+	reqID := clientRequestID(r)
+	if reqID == "" {
+		reqID = fmt.Sprintf("%08x", seq)
+	}
 	w.Header().Set("X-Request-Id", reqID)
 
+	// Lifecycle trace: built for 1 in TraceSample requests when the flight
+	// recorder is on, continuing the client's W3C trace when it sent a
+	// traceparent header (so a front tier can stitch fleet-wide traces).
+	// Untraced requests never allocate a span — every *trace.Span method is
+	// a nil no-op.
+	var lt *trace.Trace
+	var root *trace.Span
+	if s.recorder != nil && seq%s.sample == 0 {
+		traceID, _, ok := trace.ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			traceID = trace.NewTraceID()
+		}
+		lt = trace.New(traceID, start)
+		root = lt.Root()
+		root.Annotate("request_id", reqID)
+		w.Header().Set("traceparent", trace.FormatTraceparent(traceID, trace.NewSpanID()))
+	}
+
 	var req QueryRequest
-	var engineName string
+	var engineName, backendName string
+	var resp QueryResponse
+	direct := false
 	status := http.StatusOK
 	defer func() {
 		elapsed := time.Since(start)
 		s.metrics.observe(engineName, status, elapsed)
-		if s.slowQuery > 0 && elapsed >= s.slowQuery {
+		slow := s.slowQuery > 0 && elapsed >= s.slowQuery
+		if lt != nil {
+			root.Annotate("database", req.Database)
+			root.Annotate("engine", engineName)
+			root.Annotate("status", strconv.Itoa(status))
+			switch {
+			case status == http.StatusTooManyRequests:
+				lt.Keep("shed")
+			case status >= http.StatusInternalServerError:
+				lt.Keep("error")
+			case slow:
+				lt.Keep("slow")
+			}
+			lt.Close(time.Now())
+			s.recordTrace(lt)
+		}
+		if slow {
 			s.metrics.slow.Inc()
-			s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query",
+			attrs := []slog.Attr{
 				slog.String("request_id", reqID),
 				slog.String("database", req.Database),
 				slog.String("engine", engineName),
+				slog.String("backend", backendName),
+				slog.String("cache", cacheOutcome(&resp, direct)),
 				slog.String("query", req.Query),
 				slog.Int("status", status),
-				slog.Float64("elapsed_ms", float64(elapsed.Microseconds())/1000))
+				slog.Float64("elapsed_ms", float64(elapsed.Microseconds())/1000),
+			}
+			if lt != nil {
+				attrs = append(attrs,
+					slog.String("trace_id", lt.ID()),
+					slog.String("spans", topSpans(lt.View(), 3)))
+			}
+			s.logger.LogAttrs(r.Context(), slog.LevelWarn, "slow query", attrs...)
 		}
 	}()
 	fail := func(code int, err error, partial *StatsJSON) {
@@ -503,6 +594,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("trace is not supported with stream: the trace belongs to the JSON response body"), nil)
 		return
 	}
+	if req.Stream && req.Explain {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("explain is not supported with stream: the plan profile belongs to the JSON response body"), nil)
+		return
+	}
 	nd, ok := s.dbs[req.Database]
 	if !ok {
 		fail(http.StatusNotFound, fmt.Errorf("unknown database %q", req.Database), nil)
@@ -531,10 +627,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("backend %q requires the compiled engine (got %q)", backend, engineName), nil)
 		return
 	}
-	s.metrics.backends.With(backend.String()).Inc()
+	if req.Explain && engine != bvq.EngineCompiled {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("explain requires the compiled engine (got %q): only compiled queries have a plan DAG", engineName), nil)
+		return
+	}
+	backendName = backend.String()
+	s.metrics.backends.With(backendName).Inc()
+	csp := root.Start(trace.SpanCompile)
 	pl, planCached, err := s.plans.Load(req.Query)
+	csp.End()
 	if err != nil {
 		fail(http.StatusBadRequest, err, nil)
+		return
+	}
+	if req.Explain && pl.Prepared == nil {
+		fail(http.StatusBadRequest,
+			fmt.Errorf("explain: query is outside the compilable fragment (no plan DAG)"), nil)
 		return
 	}
 	if req.MaxWidth > 0 && pl.Width > req.MaxWidth {
@@ -561,8 +670,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var traceMu sync.Mutex
 	var traceEvents []TraceStageJSON
 	var traceTruncated bool
+	var reqTracer eval.Tracer
 	if req.Trace {
-		opts.Tracer = func(ev eval.TraceEvent) {
+		reqTracer = func(ev eval.TraceEvent) {
 			traceMu.Lock()
 			if len(traceEvents) < maxTraceEvents {
 				traceEvents = append(traceEvents, TraceStageJSON{
@@ -580,35 +690,70 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			traceMu.Unlock()
 		}
 	}
+	// Explain collects per-binder stage totals through the same tracer hook
+	// and a per-node profile through eval.Options.Profile. Neither changes
+	// answers, so both are excluded from the result key — but an explained
+	// request evaluates fresh anyway (direct below).
+	var binderMu sync.Mutex
+	var binderStats map[int]*binderAgg
+	var explainTracer eval.Tracer
+	if req.Explain {
+		binderStats = make(map[int]*binderAgg)
+		explainTracer = func(ev eval.TraceEvent) {
+			if ev.Binder < 0 {
+				return
+			}
+			binderMu.Lock()
+			a := binderStats[ev.Binder]
+			if a == nil {
+				a = &binderAgg{}
+				binderStats[ev.Binder] = a
+			}
+			a.stages++
+			if d := ev.Delta; d >= 0 {
+				a.delta += int64(d)
+			} else {
+				a.delta -= int64(d)
+			}
+			a.ns += ev.Elapsed.Nanoseconds()
+			binderMu.Unlock()
+		}
+		opts.Profile = eval.NewPlanProfile(pl.Prepared.NumNodes())
+	}
+	opts.Tracer = chainTracers(reqTracer, explainTracer)
 	// The tracer is excluded from the result key (it never changes the
 	// answer), so traced and untraced runs share cache entries.
 	key := cache.ResultKey(snap.fp, engineName, opts, req.Query)
 
-	resp := QueryResponse{
+	resp = QueryResponse{
 		RequestID:  reqID,
 		Database:   req.Database,
 		Engine:     engineName,
 		Width:      pl.Width,
 		Arity:      pl.Query.Arity(),
 		PlanCached: planCached,
+		TraceID:    lt.ID(),
 	}
 	if req.Backend != "" {
-		resp.Backend = backend.String()
+		resp.Backend = backendName
 	}
 
 	if req.Stream {
-		status = s.streamQuery(ctx, w, r, &req, nd, snap, pl, engine, engineName, opts, key, &resp, start)
+		status = s.streamQuery(ctx, w, r, &req, nd, snap, pl, engine, engineName, opts, key, &resp, start, root)
 		return
 	}
 
-	// A traced request must run the evaluation itself: a cache read or a
-	// coalesced ride-along would return an answer with someone else's (or
-	// no) trace.
-	direct := req.NoCache || req.Trace
+	// A traced or explained request must run the evaluation itself: a cache
+	// read or a coalesced ride-along would return an answer with someone
+	// else's (or no) trace and profile.
+	direct = req.NoCache || req.Trace || req.Explain
 
 	var out evalOutcome
 	if !direct {
-		if hit, ok := s.results.Get(key); ok {
+		clsp := root.Start(trace.SpanCacheLookup)
+		hit, ok := s.results.Get(key)
+		clsp.End()
+		if ok {
 			resp.ResultCached = true
 			out = evalOutcome{answer: hit.Answer, stats: hit.Stats}
 		}
@@ -618,9 +763,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// Admission: take an evaluation slot or join the bounded wait
 			// queue; overload sheds with errOverloaded → 429, and a deadline
 			// firing while queued surfaces as the usual 504.
+			asp := root.Start(trace.SpanAdmission)
 			if aerr := s.limiter.acquire(ctx); aerr != nil {
+				asp.End()
 				return evalOutcome{err: aerr}, aerr
 			}
+			asp.End()
 			defer s.limiter.release()
 			s.evalsInFlight.Add(1)
 			defer s.evalsInFlight.Add(-1)
@@ -651,6 +799,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			var st *eval.Stats
 			var mstate *eval.MaintState
 			var eerr error
+			// The eval span folds fixpoint-stage events into per-fixpoint
+			// child spans; chainTracers drops nil members, so an untraced
+			// request keeps a nil Tracer and the engines skip the hook.
+			esp := root.Start(trace.SpanEval)
+			opts.Tracer = chainTracers(reqTracer, explainTracer, trace.Stages(esp))
+			defer esp.End()
 			if engine == bvq.EngineCompiled && pl.Prepared != nil {
 				// Capture maintenance state alongside the answer: if an
 				// update later touches this query's footprint, the cached
@@ -721,9 +875,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp.Stats = statsJSON(out.stats)
+	if req.Explain {
+		resp.Explain = s.buildExplain(pl.Prepared, snap.db, opts, out.stats, binderStats, &binderMu)
+	}
 	// Count is always the FULL answer cardinality — limit/offset window the
 	// answer field only, so a paging client never loses the total.
 	resp.Count = out.answer.Len()
+	xsp := root.Start(trace.SpanExtract)
 	if resp.Arity == 0 {
 		truth := out.answer.Len() > 0
 		resp.Truth = &truth
@@ -745,6 +903,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.Answer[i] = renderTuple(t, snap.db, req.Indices)
 		}
 	}
+	xsp.End()
 	if req.Trace {
 		traceMu.Lock()
 		resp.Trace = traceEvents
@@ -796,6 +955,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // buckets. errors − timeouts − shed approximates client-side mistakes.
 type StatsResponse struct {
 	UptimeSeconds float64            `json:"uptime_seconds"`
+	Build         BuildInfoJSON      `json:"build"`
 	Databases     map[string]DBStats `json:"databases"`
 	Queries       int64              `json:"queries"`
 	Errors        int64              `json:"errors"`
@@ -893,6 +1053,7 @@ func (s *Server) Stats() StatsResponse {
 	}
 	return StatsResponse{
 		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Build:             buildInfo(),
 		Databases:         dbs,
 		Queries:           s.queries.Load(),
 		Errors:            s.errorsN.Load(),

@@ -13,6 +13,7 @@ import (
 	"repro/internal/database"
 	"repro/internal/eval"
 	"repro/internal/relation"
+	"repro/internal/trace"
 )
 
 // StreamHeader is the first NDJSON line of a streamed /query response. It
@@ -86,7 +87,7 @@ func renderTuple(t relation.Tuple, db *database.Database, indices bool) []int {
 func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http.Request,
 	req *QueryRequest, nd *namedDB, snap *dbSnap, pl cache.Plan,
 	engine bvq.Engine, engineName string, opts *eval.Options, key string,
-	resp *QueryResponse, start time.Time) (status int) {
+	resp *QueryResponse, start time.Time, root *trace.Span) (status int) {
 
 	s.streams.Add(1)
 	reqID := resp.RequestID
@@ -117,13 +118,21 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http
 
 	if en == nil {
 		// Fresh evaluation: admission first, like the JSON path's run().
+		asp := root.Start(trace.SpanAdmission)
 		if aerr := s.limiter.acquire(ctx); aerr != nil {
+			asp.End()
 			return fail(s.evalErrorCode(w, aerr), aerr, nil)
 		}
+		asp.End()
 		defer s.limiter.release()
 		s.evalsInFlight.Add(1)
 		defer s.evalsInFlight.Add(-1)
 
+		// The eval span covers enumerator construction only: on streaming
+		// routes (notably the acyclic pipeline) evaluation interleaves with
+		// delivery, so the drain span below carries that cost.
+		esp := root.Start(trace.SpanEval)
+		opts.Tracer = chainTracers(opts.Tracer, trace.Stages(esp))
 		var eerr error
 		func() {
 			defer func() {
@@ -145,6 +154,7 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http
 				en, runStats, eerr = bvq.EvalEnumContext(ctx, pl.Query, snap.db, engine, opts)
 			}
 		}()
+		esp.End()
 		if eerr != nil {
 			return fail(s.evalErrorCode(w, eerr), eerr, statsJSON(runStats))
 		}
@@ -209,6 +219,11 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http
 		collect = relation.NewSet(resp.Arity)
 	}
 
+	// The drain span covers seek, decode and delivery — on streaming routes
+	// this is where evaluation work actually happens. Ended by the deferred
+	// trace Close when a disconnect returns early.
+	dsp := root.Start(trace.SpanStreamDrain)
+	defer dsp.End()
 	skipped := int64(0)
 	if req.Offset > 0 {
 		skipped = int64(en.Skip(req.Offset))

@@ -1,0 +1,67 @@
+package server
+
+import (
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// BuildInfoJSON identifies the running binary: the Go toolchain it was built
+// with and, when the binary was built inside a git checkout, the VCS
+// revision and commit time. Served on GET /version and embedded in /stats so
+// fleet rollouts are attributable in scrapes.
+type BuildInfoJSON struct {
+	GoVersion string `json:"go_version"`
+	Revision  string `json:"revision,omitempty"`
+	// Dirty marks a build from a checkout with uncommitted changes.
+	Dirty     bool   `json:"dirty,omitempty"`
+	BuildTime string `json:"build_time,omitempty"`
+	Module    string `json:"module,omitempty"`
+}
+
+var (
+	buildInfoOnce   sync.Once
+	buildInfoCached BuildInfoJSON
+)
+
+// buildInfo reads the binary's embedded build metadata once. Binaries built
+// outside a VCS checkout (or with -buildvcs=false) report the Go version
+// only.
+func buildInfo() BuildInfoJSON {
+	buildInfoOnce.Do(func() {
+		buildInfoCached = BuildInfoJSON{GoVersion: runtime.Version()}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfoCached.Module = bi.Main.Path
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfoCached.Revision = s.Value
+			case "vcs.modified":
+				buildInfoCached.Dirty = s.Value == "true"
+			case "vcs.time":
+				buildInfoCached.BuildTime = s.Value
+			}
+		}
+	})
+	return buildInfoCached
+}
+
+// VersionResponse is the GET /version body.
+type VersionResponse struct {
+	Service       string        `json:"service"`
+	Build         BuildInfoJSON `json:"build"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionResponse{
+		Service:       "bvqd",
+		Build:         buildInfo(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+	})
+}

@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder is the in-memory flight recorder: a ring buffer of the last N
+// finished traces, plus a bounded always-keep buffer for traces marked Keep
+// (slow, error and shed requests) so one burst of healthy traffic cannot
+// evict the trace that explains an incident. Served by bvqd at
+// GET /debug/traces.
+//
+// Traces are recorded by value of reference — the recorder never copies
+// span data until a /debug/traces request snapshots it with View, so
+// recording is O(1) per request.
+type Recorder struct {
+	mu      sync.Mutex
+	ring    []*Trace // circular, nil until warm
+	next    int
+	keep    []*Trace // FIFO, oldest evicted at capacity
+	keepMax int
+
+	recorded atomic.Int64
+	kept     atomic.Int64
+}
+
+// NewRecorder returns a recorder retaining the last ringSize finished
+// traces plus up to keepSize must-keep traces. Sizes are clamped to at
+// least 1.
+func NewRecorder(ringSize, keepSize int) *Recorder {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	if keepSize < 1 {
+		keepSize = 1
+	}
+	return &Recorder{ring: make([]*Trace, ringSize), keepMax: keepSize}
+}
+
+// Record files a finished trace: into the always-keep buffer when the trace
+// was marked Keep, into the ring otherwise. Nil recorders and nil traces
+// are no-ops.
+func (r *Recorder) Record(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.recorded.Add(1)
+	t.mu.Lock()
+	keep := t.keep != ""
+	t.mu.Unlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if keep {
+		r.kept.Add(1)
+		if len(r.keep) >= r.keepMax {
+			copy(r.keep, r.keep[1:])
+			r.keep = r.keep[:len(r.keep)-1]
+		}
+		r.keep = append(r.keep, t)
+		return
+	}
+	r.ring[r.next] = t
+	r.next = (r.next + 1) % len(r.ring)
+}
+
+// Traces snapshots every retained trace, newest first, kept traces after
+// ring traces. The snapshot is deep (View copies), so callers may hold it
+// across later recording.
+func (r *Recorder) Traces() []View {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	live := make([]*Trace, 0, len(r.ring)+len(r.keep))
+	for i := 1; i <= len(r.ring); i++ {
+		// Walk the ring newest-first: next-1 is the most recent write.
+		if t := r.ring[(r.next-i+len(r.ring))%len(r.ring)]; t != nil {
+			live = append(live, t)
+		}
+	}
+	for i := len(r.keep) - 1; i >= 0; i-- {
+		live = append(live, r.keep[i])
+	}
+	r.mu.Unlock()
+	out := make([]View, len(live))
+	for i, t := range live {
+		out[i] = t.View()
+	}
+	return out
+}
+
+// Get returns the retained trace with the given ID.
+func (r *Recorder) Get(id string) (View, bool) {
+	if r == nil {
+		return View{}, false
+	}
+	r.mu.Lock()
+	var found *Trace
+	for _, t := range r.ring {
+		if t != nil && t.id == id {
+			found = t
+			break
+		}
+	}
+	if found == nil {
+		for _, t := range r.keep {
+			if t.id == id {
+				found = t
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+	if found == nil {
+		return View{}, false
+	}
+	return found.View(), true
+}
+
+// Len reports the current ring and keep occupancy.
+func (r *Recorder) Len() (ring, keep int) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, t := range r.ring {
+		if t != nil {
+			ring++
+		}
+	}
+	return ring, len(r.keep)
+}
+
+// Recorded returns the cumulative count of traces filed with Record.
+func (r *Recorder) Recorded() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.recorded.Load()
+}
+
+// Kept returns the cumulative count of traces filed into the keep buffer.
+func (r *Recorder) Kept() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.kept.Load()
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# bench_trajectory.sh — snapshot the benchmark suite into a dated,
+# revision-stamped JSON-Lines file, so the repo accumulates a performance
+# trajectory one file per PR.
+#
+# Usage: scripts/bench_trajectory.sh <pr-number> [-quick]
+#
+# Writes BENCH_<pr>.json at the repository root: a leading meta line (date,
+# go version, VCS revision, host shape — emitted by bvqbench itself) followed
+# by one record per (workload, engine, size) cell. Compare two PRs with e.g.
+#
+#   jq -s 'map(select(.bench == "sparse-2hop"))' BENCH_8.json BENCH_9.json
+set -eu
+
+if [ "${1:-}" = "" ]; then
+    echo "usage: $0 <pr-number> [-quick]" >&2
+    exit 2
+fi
+pr=$1
+shift
+
+cd "$(dirname "$0")/.."
+out="BENCH_${pr}.json"
+go run ./cmd/bvqbench -json "$@" >"$out"
+lines=$(wc -l <"$out")
+echo "wrote $out ($lines lines)" >&2
