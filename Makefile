@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet docs race bench bench-json bench-sparse bench-stream bench-smoke smoke-stream sweep examples cover clean check serve
+.PHONY: all build test vet docs race bench bench-json bench-sparse bench-stream bench-smoke smoke-stream fleet-smoke sweep examples cover clean check serve
 
 all: vet test build
 
@@ -16,8 +16,12 @@ all: vet test build
 # there is visible by name, the metrics-documentation lint so the
 # OPERATIONS.md family reference cannot drift from what the server
 # registers, a single-iteration benchmark smoke pass so the benchmarks
-# themselves cannot rot, and a curl-level NDJSON smoke against a live
-# bvqd so the streaming wire format cannot rot either.
+# themselves cannot rot, a curl-level NDJSON smoke against a live bvqd so
+# the streaming wire format cannot rot either, and a fleet smoke that
+# boots three bvqd replicas behind bvqrouter, checks routed answers stay
+# byte-identical to direct ones, drives a short bvqload run (non-zero
+# routed queries, zero 5xx), and kills a replica mid-load to prove
+# eviction + retry keeps failures off the client.
 check: docs
 	$(GO) vet ./...
 	$(GO) test -race ./...
@@ -27,6 +31,7 @@ check: docs
 	$(GO) test -count=1 -run 'TestMetricsDocumented' ./internal/server/
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./internal/eval/ ./internal/relation/ ./internal/bitset/
 	./scripts/stream_smoke.sh
+	./scripts/fleet_smoke.sh
 
 build:
 	$(GO) build ./...
@@ -88,6 +93,14 @@ bench-smoke:
 # checking the NDJSON wire format end to end (scripts/stream_smoke.sh).
 smoke-stream:
 	./scripts/stream_smoke.sh
+
+# fleet-smoke boots three bvqd replicas behind bvqrouter and checks the
+# fleet contract: byte-identical routed answers (JSON and stream rows), a
+# short bvqload run with non-zero routed queries and zero 5xx, a capacity
+# point (1 vs 3 replicas), and a mid-load replica kill that the router
+# absorbs with eviction + retries (scripts/fleet_smoke.sh).
+fleet-smoke:
+	./scripts/fleet_smoke.sh
 
 # Regenerate the EXPERIMENTS.md sweeps (about a minute).
 sweep:

@@ -89,7 +89,8 @@ func main() {
 		maxTimeout     = flag.Duration("max-timeout", time.Minute, "upper clamp on per-request deadlines (0: none)")
 		maxConcurrent  = flag.Int("max-concurrent", 0, "max evaluations running at once (0: unlimited)")
 		maxQueue       = flag.Int("max-queue", 0, "max requests waiting for an evaluation slot before shedding 429 (0: 2×max-concurrent)")
-		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After floor on shed responses (429, and 504s that timed out while queued)")
+		retryJitter    = flag.Duration("retry-after-jitter", 0, "bounded random spread added to -retry-after per shed response (0: half of -retry-after; negative: fixed header)")
 		slowQuery      = flag.Duration("slow-query", time.Second, "log requests at least this slow as JSON on stderr (0: disable)")
 		pprofAddr      = flag.String("pprof", "", "serve /debug/pprof on this separate address (empty: disabled)")
 		traceBuffer    = flag.Int("trace-buffer", 256, "flight-recorder ring size: keep the last N request traces for GET /debug/traces (0: disable lifecycle tracing)")
@@ -106,6 +107,7 @@ func main() {
 		MaxConcurrentEvals: *maxConcurrent,
 		MaxEvalQueue:       *maxQueue,
 		RetryAfter:         *retryAfter,
+		RetryAfterJitter:   *retryJitter,
 		SlowQuery:          *slowQuery,
 		Logger:             slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 		TraceBufferSize:    *traceBuffer,

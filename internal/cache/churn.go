@@ -68,11 +68,24 @@ func (t *Tracked) Overlaps(changed []string) bool {
 // safe for concurrent use; the update path additionally serializes Take +
 // re-Register per database under the server's snapshot lock, so one update's
 // triage never interleaves with another's.
+//
+// The index is generation-aware: Advance pins the fingerprint of the
+// snapshot currently being served, and Register drops any entry minted
+// against a different fingerprint. This is the stale-result guard for an
+// evaluation racing updates — including TWO consecutive updates, where the
+// eval's baseline is two generations behind by the time it tries to
+// register. Without the guard such an entry would sit in the index and the
+// NEXT update would carry or maintain it from a baseline that silently
+// missed a delta. The server's update path duplicates this check under its
+// snapshot lock; the index enforces it regardless of caller discipline.
 type Index struct {
 	mu sync.Mutex
 	// max bounds the tracked entries per database; 0 means unbounded.
 	max int
 	m   map[string]map[string]*Tracked
+	// gen is the fingerprint of each database's current snapshot, set by
+	// Advance. Registrations against any other fingerprint are rejected.
+	gen map[string]uint64
 }
 
 // NewIndex returns an index tracking at most max entries per database
@@ -81,15 +94,36 @@ type Index struct {
 // are pruned at each update, but a database that is never updated should not
 // accumulate tracking beyond its cache's capacity.
 func NewIndex(max int) *Index {
-	return &Index{max: max, m: make(map[string]map[string]*Tracked)}
+	return &Index{
+		max: max,
+		m:   make(map[string]map[string]*Tracked),
+		gen: make(map[string]uint64),
+	}
 }
 
-// Register records (or replaces) the entry under its Key. When the per-
-// database bound is hit, an arbitrary existing entry is dropped — losing
-// tracking only costs a maintenance opportunity, never correctness.
-func (ix *Index) Register(db string, t *Tracked) {
+// Advance declares fp the current snapshot fingerprint for db. From here on,
+// Register calls carrying any other fingerprint are stale and are dropped.
+// The update path calls it after Take and before re-registering survivors,
+// all inside one critical section of the caller's snapshot lock, so no
+// registration can slip in between against the outgoing generation.
+func (ix *Index) Advance(db string, fp uint64) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	ix.gen[db] = fp
+}
+
+// Register records (or replaces) the entry under its Key, provided fp still
+// is db's current generation; it reports whether the entry was accepted. A
+// mismatch means the snapshot moved on while the result was computed — the
+// entry is stale and is dropped. When the per-database bound is hit, an
+// arbitrary existing entry is dropped — losing tracking only costs a
+// maintenance opportunity, never correctness.
+func (ix *Index) Register(db string, fp uint64, t *Tracked) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if cur, known := ix.gen[db]; known && cur != fp {
+		return false
+	}
 	entries := ix.m[db]
 	if entries == nil {
 		entries = make(map[string]*Tracked)
@@ -102,6 +136,7 @@ func (ix *Index) Register(db string, t *Tracked) {
 		}
 	}
 	entries[t.Key] = t
+	return true
 }
 
 // Take removes and returns every tracked entry for db. The update path calls
@@ -110,6 +145,24 @@ func (ix *Index) Register(db string, t *Tracked) {
 func (ix *Index) Take(db string) []*Tracked {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.takeLocked(db)
+}
+
+// Rotate atomically takes every tracked entry for db AND advances its
+// generation to fp, in one critical section. The atomicity matters: with a
+// separate Take-then-Advance, a registration against the outgoing
+// fingerprint could slip into the gap, survive the purge, and be triaged by
+// the next update from a baseline that missed this one's delta. The update
+// path calls Rotate at the start of a triage and re-registers the survivors
+// under their new keys (which Register accepts, fp now being current).
+func (ix *Index) Rotate(db string, fp uint64) []*Tracked {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.gen[db] = fp
+	return ix.takeLocked(db)
+}
+
+func (ix *Index) takeLocked(db string) []*Tracked {
 	entries := ix.m[db]
 	if len(entries) == 0 {
 		return nil

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func tracked(key string) *Tracked {
+	return &Tracked{Key: key, Engine: "bottomup", Query: "(x). P(x)"}
+}
+
+func TestIndexRegisterTakeRoundTrip(t *testing.T) {
+	ix := NewIndex(0)
+	ix.Advance("db", 1)
+	if !ix.Register("db", 1, tracked("a")) {
+		t.Fatal("current-generation registration rejected")
+	}
+	if got := ix.Len("db"); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+	out := ix.Take("db")
+	if len(out) != 1 || out[0].Key != "a" {
+		t.Fatalf("Take = %v", out)
+	}
+	if got := ix.Len("db"); got != 0 {
+		t.Fatalf("Len after Take = %d, want 0", got)
+	}
+}
+
+func TestIndexBoundDropsArbitraryEntry(t *testing.T) {
+	ix := NewIndex(2)
+	ix.Advance("db", 1)
+	for i := 0; i < 5; i++ {
+		ix.Register("db", 1, tracked(fmt.Sprintf("k%d", i)))
+	}
+	if got := ix.Len("db"); got != 2 {
+		t.Fatalf("Len = %d, want bound 2", got)
+	}
+}
+
+// TestIndexStaleRegistrationAcrossTwoUpdates is the 3-version interleaving
+// regression: an evaluation that started against version v0 finishes after
+// TWO consecutive updates (v0 → v1 → v2) and tries to register its result.
+// The index, advanced to v2's fingerprint, must reject the v0 registration —
+// otherwise the NEXT update would carry or maintain an entry whose baseline
+// silently missed both deltas.
+func TestIndexStaleRegistrationAcrossTwoUpdates(t *testing.T) {
+	const (
+		fp0 uint64 = 0xa0
+		fp1 uint64 = 0xa1
+		fp2 uint64 = 0xa2
+	)
+	ix := NewIndex(0)
+	ix.Advance("db", fp0)
+
+	// A result evaluated and registered at v0 is tracked.
+	if !ix.Register("db", fp0, tracked("k@v0")) {
+		t.Fatal("v0 registration at v0 rejected")
+	}
+
+	// A slow evaluation also starts at v0 (it will finish after v2).
+	// Update 1: triage = Rotate (atomic take + generation bump), then
+	// re-register survivors at v1.
+	got := ix.Rotate("db", fp1)
+	if len(got) != 1 {
+		t.Fatalf("update 1 took %d entries, want 1", len(got))
+	}
+	got[0].Key = "k@v1"
+	if !ix.Register("db", fp1, got[0]) {
+		t.Fatal("carried v1 registration rejected")
+	}
+
+	// Update 2: same dance to v2.
+	got = ix.Rotate("db", fp2)
+	got[0].Key = "k@v2"
+	if !ix.Register("db", fp2, got[0]) {
+		t.Fatal("carried v2 registration rejected")
+	}
+
+	// The slow v0 evaluation finishes now — two generations behind.
+	if ix.Register("db", fp0, tracked("slow@v0")) {
+		t.Fatal("stale v0 registration accepted after two updates")
+	}
+	// A merely one-generation-stale registration (racing only update 2)
+	// must be rejected too.
+	if ix.Register("db", fp1, tracked("slow@v1")) {
+		t.Fatal("stale v1 registration accepted after update 2")
+	}
+
+	// Only the carried entry survives, under its v2 key.
+	out := ix.Take("db")
+	if len(out) != 1 || out[0].Key != "k@v2" {
+		t.Fatalf("final index contents = %+v, want single k@v2", out)
+	}
+}
+
+// TestIndexStaleRegistrationRace hammers the guard under the race detector:
+// many evaluator goroutines registering against every generation they might
+// have started from, interleaved with two updates advancing v0 → v1 → v2.
+// At the end, no entry minted against a superseded fingerprint may remain.
+func TestIndexStaleRegistrationRace(t *testing.T) {
+	const (
+		fp0 uint64 = 0xb0
+		fp1 uint64 = 0xb1
+		fp2 uint64 = 0xb2
+	)
+	ix := NewIndex(0)
+	ix.Advance("db", fp0)
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 200; i++ {
+				for _, fp := range []uint64{fp0, fp1, fp2} {
+					ix.Register("db", fp, tracked(fmt.Sprintf("g%d-i%d@%x", g, i, fp)))
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		ix.Rotate("db", fp1)
+		ix.Rotate("db", fp2)
+	}()
+	close(start)
+	wg.Wait()
+
+	// After both updates only fp2-minted entries may remain: every key
+	// records the fingerprint it was registered under.
+	for _, tr := range ix.Take("db") {
+		if want := fmt.Sprintf("@%x", fp2); len(tr.Key) < len(want) || tr.Key[len(tr.Key)-len(want):] != want {
+			t.Fatalf("stale entry survived the updates: %q", tr.Key)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Package router implements the bvqrouter front tier: a consistent-hash
+// router that spreads /query load across a fleet of bvqd replicas, fans
+// /db/{name}/update out to every replica, scatter-gathers /stats and
+// /metrics into fleet aggregates, and turns the single-node admission
+// contract (429 + Retry-After) into fleet-level retry, backoff and hedging.
+//
+// Every replica serves full copies of every database — the ring shards
+// *queries*, not data. Routing on (database, query text) sends repeats of
+// the same query to the same replica, so each replica's result cache and
+// churn index warm on a stable slice of the workload instead of the whole
+// mix diluted N ways.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the number of ring points per member. 128 keeps the
+// per-member load imbalance in the low single-digit percent range while
+// the ring stays small enough to rebuild on every membership change.
+const DefaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring over member names. Build one
+// with NewRing; on membership change, build a new Ring from the new member
+// set — construction is deterministic, so two routers configured with the
+// same members agree on every assignment, and removing a member only moves
+// the keys that member owned (minimal movement).
+type Ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring with vnodes points per member (vnodes <= 0 means
+// DefaultVnodes). Member order does not matter; the ring depends only on
+// the set.
+func NewRing(vnodes int, members []string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, vnodes*len(members))}
+	for _, m := range members {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m, v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Identical point hashes across members are astronomically rare but
+		// must tie-break deterministically for cross-router agreement.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// Lookup returns up to n distinct members in preference order for key: the
+// first owns the key; the rest are the fallbacks a router walks when the
+// owner sheds or fails. n <= 0 returns every member, in preference order.
+func (r *Ring) Lookup(key string, n int) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	var out []string
+	seen := make(map[string]bool)
+	for range r.points {
+		if i == len(r.points) {
+			i = 0
+		}
+		m := r.points[i].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+			if n > 0 && len(out) == n {
+				break
+			}
+		}
+		i++
+	}
+	return out
+}
+
+// Owner returns the single preferred member for key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	own := r.Lookup(key, 1)
+	if len(own) == 0 {
+		return ""
+	}
+	return own[0]
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// QueryKey is the ring key for one query: the database name and the query
+// text. Sharding on both gives result-cache affinity — the same query on
+// the same database always lands on the same healthy replica.
+func QueryKey(database, query string) string {
+	return database + "\x00" + query
+}

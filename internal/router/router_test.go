@@ -1,0 +1,503 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/database"
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// --- ring ---
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = QueryKey("graph", fmt.Sprintf("(x, y). E%d(x, y)", i))
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(64, []string{"r1", "r2", "r3"})
+	b := NewRing(64, []string{"r3", "r1", "r2"}) // order must not matter
+	for _, k := range ringKeys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner(%q): %q vs %q for permuted member order", k, ao, bo)
+		}
+	}
+	pref := a.Lookup(ringKeys(1)[0], 0)
+	if len(pref) != 3 {
+		t.Fatalf("full preference list has %d members, want 3", len(pref))
+	}
+	seen := map[string]bool{}
+	for _, m := range pref {
+		if seen[m] {
+			t.Fatalf("duplicate member %q in preference list", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestRingMinimalMovement(t *testing.T) {
+	keys := ringKeys(2000)
+	full := NewRing(64, []string{"r1", "r2", "r3"})
+	without := NewRing(64, []string{"r1", "r2"})
+
+	moved := 0
+	for _, k := range keys {
+		was, now := full.Owner(k), without.Owner(k)
+		if was != "r3" && was != now {
+			t.Fatalf("key %q moved %q→%q though its owner %q was not removed", k, was, now, was)
+		}
+		if was == "r3" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed member; test is vacuous")
+	}
+	// Adding a member only moves keys TO the new member.
+	plus := NewRing(64, []string{"r1", "r2", "r3", "r4"})
+	for _, k := range keys {
+		was, now := full.Owner(k), plus.Owner(k)
+		if now != was && now != "r4" {
+			t.Fatalf("key %q moved %q→%q on adding r4", k, was, now)
+		}
+	}
+}
+
+// --- forwarding ---
+
+func newTestRouter(t *testing.T, cfg Config) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestRetryThenSucceedOn429(t *testing.T) {
+	var calls atomic.Int32
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"overloaded"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"answer":[[1,2]]}`)
+	}))
+	defer replica.Close()
+
+	rt, ts := newTestRouter(t, Config{Replicas: []string{replica.URL}})
+	resp, body := postJSON(t, ts.URL+"/query", `{"database":"graph","query":"(x, y). E(x, y)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retry, want 200 (body %s)", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte(`[[1,2]]`)) {
+		t.Fatalf("unexpected body %s", body)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("replica saw %d calls, want 2 (429 then success)", got)
+	}
+	if rt.metrics.retries.Value() == 0 {
+		t.Fatal("retry not counted")
+	}
+}
+
+func TestAllReplicasShedRelays429(t *testing.T) {
+	shed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprint(w, `{"error":"overloaded"}`)
+	})
+	r1, r2 := httptest.NewServer(shed), httptest.NewServer(shed)
+	defer r1.Close()
+	defer r2.Close()
+
+	// A 7s Retry-After exceeds the 10ms wait cap, so the router gives up
+	// fast and relays the shed instead of stalling the client.
+	rt, ts := newTestRouter(t, Config{Replicas: []string{r1.URL, r2.URL}, MaxRetryWait: 10 * time.Millisecond})
+	resp, _ := postJSON(t, ts.URL+"/query", `{"database":"graph","query":"(x, y). E(x, y)"}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want relayed 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "7" {
+		t.Fatalf("Retry-After %q not relayed", resp.Header.Get("Retry-After"))
+	}
+	if rt.metrics.shedRelays.Value() != 1 {
+		t.Fatalf("shed relays = %d, want 1", rt.metrics.shedRelays.Value())
+	}
+}
+
+// testDB is a 4-node graph with a shortcut, enough for twoHop to have a
+// multi-tuple answer.
+func testDB(t testing.TB) *database.Database {
+	t.Helper()
+	b := database.NewBuilder()
+	b.Relation("E", 2)
+	for i := 0; i < 4; i++ {
+		b.Domain(i)
+	}
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 2}} {
+		b.Add("E", e[0], e[1])
+	}
+	db, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+const twoHop = "(x, y). exists z. E(x, z) & E(z, y)"
+
+// TestStreamPassThroughByteIdentical drives a real bvqd replica through the
+// router and asserts the streamed NDJSON rows are byte-identical to a
+// direct query (header and trailer carry per-request ids and timings, so
+// they are compared structurally instead).
+func TestStreamPassThroughByteIdentical(t *testing.T) {
+	srv, err := server.New(server.Config{Databases: map[string]*database.Database{"graph": testDB(t)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := httptest.NewServer(srv.Handler())
+	defer replica.Close()
+	_, ts := newTestRouter(t, Config{Replicas: []string{replica.URL}})
+
+	req := `{"database":"graph","query":"` + twoHop + `","stream":true,"no_cache":true}`
+	direct, directBody := postJSON(t, replica.URL+"/query", req)
+	routed, routedBody := postJSON(t, ts.URL+"/query", req)
+	if direct.StatusCode != 200 || routed.StatusCode != 200 {
+		t.Fatalf("statuses %d/%d", direct.StatusCode, routed.StatusCode)
+	}
+	if ct := routed.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q not passed through", ct)
+	}
+	dl := strings.Split(strings.TrimRight(string(directBody), "\n"), "\n")
+	rl := strings.Split(strings.TrimRight(string(routedBody), "\n"), "\n")
+	if len(dl) != len(rl) {
+		t.Fatalf("line counts differ: direct %d, routed %d", len(dl), len(rl))
+	}
+	// Tuple rows (everything between header and trailer) must be
+	// byte-identical.
+	for i := 1; i < len(dl)-1; i++ {
+		if dl[i] != rl[i] {
+			t.Fatalf("row %d differs:\ndirect %s\nrouted %s", i, dl[i], rl[i])
+		}
+	}
+	var dTrailer, rTrailer map[string]any
+	if err := json.Unmarshal([]byte(dl[len(dl)-1]), &dTrailer); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(rl[len(rl)-1]), &rTrailer); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"trailer", "count", "streamed"} {
+		if fmt.Sprint(dTrailer[k]) != fmt.Sprint(rTrailer[k]) {
+			t.Fatalf("trailer %q differs: %v vs %v", k, dTrailer[k], rTrailer[k])
+		}
+	}
+	if rTrailer["error"] != nil {
+		t.Fatalf("routed trailer has error %v", rTrailer["error"])
+	}
+}
+
+// TestStreamUpstreamDeathAppendsTrailer pins the router's repair duty: when
+// the replica dies after the first byte without emitting its trailer, the
+// router appends an error trailer naming the replica, so downstream clients
+// can always tell truncation from completion.
+func TestStreamUpstreamDeathAppendsTrailer(t *testing.T) {
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprint(w, `{"request_id":"x","width":2}`+"\n[0,1]\n")
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler) // cut the connection mid-stream
+	}))
+	defer replica.Close()
+	rt, ts := newTestRouter(t, Config{Replicas: []string{replica.URL}})
+
+	resp, body := postJSON(t, ts.URL+"/query", `{"database":"graph","query":"(x, y). E(x, y)","stream":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want committed 200", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimRight(string(body), "\n"), "\n")
+	last := lines[len(lines)-1]
+	var trailer struct {
+		Trailer bool   `json:"trailer"`
+		Error   string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(last), &trailer); err != nil || !trailer.Trailer {
+		t.Fatalf("last line %q is not a trailer", last)
+	}
+	if !strings.Contains(trailer.Error, replica.URL) {
+		t.Fatalf("repair trailer %q does not name the replica", trailer.Error)
+	}
+	if lines[1] != "[0,1]" {
+		t.Fatalf("row not passed through before the cut: %q", lines[1])
+	}
+	if rt.metrics.streamRepairs.Value() != 1 {
+		t.Fatalf("stream repairs = %d, want 1", rt.metrics.streamRepairs.Value())
+	}
+}
+
+func TestUpdateFanoutPartialFailureNamesReplica(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"version":2,"fingerprint":"00000000000000ff"}`)
+	}))
+	defer good.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+
+	rt, ts := newTestRouter(t, Config{Replicas: []string{good.URL, dead.URL}})
+	resp, body := postJSON(t, ts.URL+"/db/graph/update", `{"updates":[{"relation":"E","insert":[[3,0]]}]}`)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502 partial failure (body %s)", resp.StatusCode, body)
+	}
+	var report struct {
+		Error   string            `json:"error"`
+		Failed  map[string]string `json:"failed"`
+		Applied []string          `json:"applied"`
+	}
+	if err := json.Unmarshal(body, &report); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.Error, dead.URL) {
+		t.Fatalf("error %q does not name the failed replica %s", report.Error, dead.URL)
+	}
+	if _, ok := report.Failed[dead.URL]; !ok {
+		t.Fatalf("failed map %v missing %s", report.Failed, dead.URL)
+	}
+	if len(report.Applied) != 1 || report.Applied[0] != good.URL {
+		t.Fatalf("applied %v, want [%s]", report.Applied, good.URL)
+	}
+	if rt.metrics.fanoutFailures.Value() != 1 {
+		t.Fatal("fan-out failure not counted")
+	}
+}
+
+func TestUpdateFanoutAggregatesVersions(t *testing.T) {
+	mk := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprint(w, `{"version":3,"fingerprint":"00000000000000aa"}`)
+		}))
+	}
+	r1, r2 := mk(), mk()
+	defer r1.Close()
+	defer r2.Close()
+	_, ts := newTestRouter(t, Config{Replicas: []string{r1.URL, r2.URL}})
+	resp, body := postJSON(t, ts.URL+"/db/graph/update", `{"updates":[{"relation":"E","insert":[[3,0]]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %s)", resp.StatusCode, body)
+	}
+	var agg updateAggregate
+	if err := json.Unmarshal(body, &agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Version != 3 || agg.Fingerprint != "00000000000000aa" || agg.Diverged {
+		t.Fatalf("aggregate %+v", agg)
+	}
+	if len(agg.Replicas) != 2 {
+		t.Fatalf("replicas %v, want both", agg.Replicas)
+	}
+}
+
+func TestHedgedReadWinsOnSlowPrimary(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		fmt.Fprint(w, `{"answer":"slow"}`)
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"answer":"fast"}`)
+	}))
+	defer fast.Close()
+
+	rt, ts := newTestRouter(t, Config{Replicas: []string{slow.URL, fast.URL}, HedgeDelay: 20 * time.Millisecond})
+	// Find a query whose ring owner is the slow replica, so the hedge is
+	// what saves the request.
+	var query string
+	for i := 0; ; i++ {
+		q := fmt.Sprintf("(x, y). E%d(x, y)", i)
+		if rt.ring.Load().Owner(QueryKey("graph", q)) == slow.URL {
+			query = q
+			break
+		}
+	}
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/query", `{"database":"graph","query":"`+query+`"}`)
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("fast")) {
+		t.Fatalf("status %d body %s, want the hedged fast answer", resp.StatusCode, body)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedge did not save the request: took %v", elapsed)
+	}
+	if rt.metrics.hedges.Value() == 0 || rt.metrics.hedgeWins.Value() == 0 {
+		t.Fatalf("hedges=%d wins=%d, want both > 0", rt.metrics.hedges.Value(), rt.metrics.hedgeWins.Value())
+	}
+}
+
+func TestHealthEvictionAndReadmission(t *testing.T) {
+	var down atomic.Bool
+	replica := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer replica.Close()
+	other := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer other.Close()
+
+	rt, _ := newTestRouter(t, Config{
+		Replicas:       []string{replica.URL, other.URL},
+		HealthInterval: 10 * time.Millisecond,
+		HealthFailures: 2,
+	})
+	waitFor := func(want int64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.healthyCount() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: healthy = %d, want %d", what, rt.healthyCount(), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	waitFor(2, "startup")
+	down.Store(true)
+	waitFor(1, "eviction")
+	// The ring rebalanced: every key is now owned by the survivor.
+	for _, k := range ringKeys(50) {
+		if owner := rt.ring.Load().Owner(k); owner != other.URL {
+			t.Fatalf("key %q owned by %q after eviction", k, owner)
+		}
+	}
+	down.Store(false)
+	waitFor(2, "readmission")
+}
+
+func TestStatsAggregate(t *testing.T) {
+	mk := func(queries, hits int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/stats" {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprintf(w, `{"queries":%d,"result_cache":{"hits":%d}}`, queries, hits)
+		}))
+	}
+	r1, r2 := mk(2, 3), mk(5, 1)
+	defer r1.Close()
+	defer r2.Close()
+	_, ts := newTestRouter(t, Config{Replicas: []string{r1.URL, r2.URL}})
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Fleet struct {
+			Queries     float64 `json:"queries"`
+			ResultCache struct {
+				Hits float64 `json:"hits"`
+			} `json:"result_cache"`
+		} `json:"fleet"`
+		Replicas map[string]any `json:"replicas"`
+		Router   map[string]any `json:"router"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Fleet.Queries != 7 || out.Fleet.ResultCache.Hits != 4 {
+		t.Fatalf("fleet aggregate queries=%v hits=%v, want 7 and 4", out.Fleet.Queries, out.Fleet.ResultCache.Hits)
+	}
+	if len(out.Replicas) != 2 || out.Router["members_healthy"] != float64(2) {
+		t.Fatalf("replicas=%v router=%v", out.Replicas, out.Router)
+	}
+}
+
+func TestMetricsAggregateParsesAndSums(t *testing.T) {
+	exposition := func(v int) string {
+		return fmt.Sprintf("# HELP bvqd_queries_total Total queries.\n# TYPE bvqd_queries_total counter\nbvqd_queries_total %d\n", v)
+	}
+	mk := func(v int) *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path != "/metrics" {
+				http.NotFound(w, r)
+				return
+			}
+			fmt.Fprint(w, exposition(v))
+		}))
+	}
+	r1, r2 := mk(4), mk(9)
+	defer r1.Close()
+	defer r2.Close()
+	_, ts := newTestRouter(t, Config{Replicas: []string{r1.URL, r2.URL}})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	text, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseText(bytes.NewReader(text))
+	if err != nil {
+		t.Fatalf("aggregate exposition does not parse: %v\n%s", err, text)
+	}
+	found := false
+	for _, f := range fams {
+		if f.Name == "bvqd_queries_total" {
+			found = true
+			if len(f.Samples) != 1 || f.Samples[0].Value != 13 {
+				t.Fatalf("bvqd_queries_total = %+v, want one sample of 13", f.Samples)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fleet aggregate missing bvqd_queries_total")
+	}
+	if !bytes.Contains(text, []byte("bvqrouter_requests_total")) {
+		t.Fatal("router families missing from /metrics")
+	}
+}

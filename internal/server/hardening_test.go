@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -255,8 +256,11 @@ func TestSaturationSheds429(t *testing.T) {
 		}
 	}
 	for ra := range retryAfter {
-		if ra != "2" {
-			t.Fatalf("Retry-After = %q, want %q", ra, "2")
+		// RetryAfter 2s with default jitter (half the base): values land in
+		// [2, 3] seconds.
+		v, err := strconv.Atoi(ra)
+		if err != nil || v < 2 || v > 3 {
+			t.Fatalf("Retry-After = %q, want an integer in [2, 3]", ra)
 		}
 	}
 	st := s.Stats()
@@ -470,4 +474,115 @@ func (b *syncBuffer) String() string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.buf.String()
+}
+
+// TestRetryAfterJitterRange pins the jittered Retry-After contract on both
+// shed paths: a queue-full 429 and a deadline that fires while queued (504)
+// must both carry a Retry-After header whose value lies in
+// [RetryAfter, RetryAfter+RetryAfterJitter] seconds. A synchronized wave of
+// router retries depends on this spread to de-herd.
+func TestRetryAfterJitterRange(t *testing.T) {
+	gate := make(chan struct{})
+	defer func() {
+		select {
+		case <-gate:
+		default:
+			close(gate)
+		}
+	}()
+	entered := make(chan struct{}, 64)
+	s, ts := hookedServer(t, Config{
+		MaxConcurrentEvals: 1,
+		MaxEvalQueue:       1,
+		RetryAfter:         3 * time.Second,
+		RetryAfterJitter:   2 * time.Second,
+	}, func() { entered <- struct{}{}; <-gate })
+
+	inRange := func(t *testing.T, resp *http.Response) {
+		t.Helper()
+		ra := resp.Header.Get("Retry-After")
+		v, err := strconv.Atoi(ra)
+		if err != nil || v < 3 || v > 5 {
+			t.Fatalf("Retry-After = %q, want an integer in [3, 5]", ra)
+		}
+	}
+
+	// Wedge the single slot open with one request; once it demonstrably
+	// holds the slot, a short-deadline request can only queue, and its
+	// deadline firing there is the queue-timeout shed path: 504 with the
+	// jittered Retry-After.
+	wedged := make(chan struct{})
+	go func() {
+		resp := postFull(t, ts, QueryRequest{Database: "graph", Query: twoHop, NoCache: true})
+		resp.Body.Close()
+		close(wedged)
+	}()
+	<-entered
+	resp := postFull(t, ts, QueryRequest{Database: "graph", Query: twoHop, NoCache: true, TimeoutMS: 1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("queued probe status = %d, want 504", resp.StatusCode)
+	}
+	inRange(t, resp)
+	resp.Body.Close()
+
+	// Fill the one-deep queue with a long-deadline request; once it is
+	// demonstrably queued, the next arrival sheds 429 immediately — the
+	// queue-full shed path.
+	queued := make(chan struct{})
+	go func() {
+		resp := postFull(t, ts, QueryRequest{Database: "graph", Query: twoHop, NoCache: true, TimeoutMS: 30000})
+		resp.Body.Close()
+		close(queued)
+	}()
+	waitForCondition(t, func() bool { return s.limiter.queueDepth() == 1 })
+	resp = postFull(t, ts, QueryRequest{Database: "graph", Query: twoHop, NoCache: true, TimeoutMS: 1})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue-full probe status = %d, want 429", resp.StatusCode)
+	}
+	inRange(t, resp)
+	resp.Body.Close()
+
+	close(gate)
+	<-wedged
+	<-queued
+}
+
+// waitForCondition polls fn until it reports success or the deadline runs
+// out.
+func waitForCondition(t *testing.T, fn func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if fn() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}
+
+// TestRetryAfterValueDistribution samples the header generator directly:
+// every draw stays within the configured bounds, and the jitter actually
+// spreads (more than one distinct value over many draws).
+func TestRetryAfterValueDistribution(t *testing.T) {
+	s, _ := newTestServer(t, Config{RetryAfter: 4 * time.Second, RetryAfterJitter: 2 * time.Second})
+	seen := map[string]bool{}
+	for i := 0; i < 512; i++ {
+		v := s.retryAfterValue()
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 4 || n > 6 {
+			t.Fatalf("retryAfterValue() = %q, want an integer in [4, 6]", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("512 draws produced a single value %v: jitter is not spreading", seen)
+	}
+	// Negative jitter disables the spread entirely.
+	fixed, _ := newTestServer(t, Config{RetryAfter: 4 * time.Second, RetryAfterJitter: -1})
+	for i := 0; i < 16; i++ {
+		if v := fixed.retryAfterValue(); v != "4" {
+			t.Fatalf("fixed retryAfterValue() = %q, want \"4\"", v)
+		}
+	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 )
 
@@ -10,6 +11,14 @@ import (
 // slots and the wait queue are full. The handler maps it to 429 with a
 // Retry-After header — load shedding, not failure.
 var errOverloaded = errors.New("server: overloaded: all evaluation slots busy and wait queue full")
+
+// errQueueTimeout wraps the context error of a caller whose deadline fired
+// while waiting in the admission queue. The request never started
+// evaluating — it died waiting for capacity — so the handler keeps the usual
+// 504 mapping (the wrapped context error still matches errors.Is) but also
+// attaches a Retry-After header: to a retrying front tier this response is
+// overload, and retrying it immediately would herd.
+var errQueueTimeout = errors.New("server: deadline fired while queued for an evaluation slot")
 
 // limiter is the admission controller in front of evaluation: at most
 // cap(sem) evaluations run concurrently, at most maxQueue callers wait for a
@@ -60,7 +69,7 @@ func (l *limiter) acquire(ctx context.Context) error {
 	case l.sem <- struct{}{}:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return fmt.Errorf("%w: %w", errQueueTimeout, ctx.Err())
 	}
 }
 

@@ -51,6 +51,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"sort"
 	"strconv"
@@ -90,9 +91,17 @@ type Config struct {
 	// slot; arrivals beyond it are shed with 429. 0 means
 	// 2×MaxConcurrentEvals. Ignored when MaxConcurrentEvals is 0.
 	MaxEvalQueue int
-	// RetryAfter is the Retry-After hint attached to 429 responses,
-	// rounded up to whole seconds. 0 means 1s.
+	// RetryAfter is the Retry-After hint attached to shed responses (429,
+	// and 504s whose deadline fired while queued), rounded up to whole
+	// seconds. 0 means 1s.
 	RetryAfter time.Duration
+	// RetryAfterJitter bounds the random spread added to RetryAfter on each
+	// shed response: the header value is uniform in
+	// [RetryAfter, RetryAfter+RetryAfterJitter] seconds, so a fleet of
+	// clients (or a router's worth of queued retries) shed at the same
+	// instant does not come back at the same instant. 0 means half of
+	// RetryAfter, at least 1s; negative disables jitter (a fixed header).
+	RetryAfterJitter time.Duration
 	// SlowQuery is the slow-query logging threshold: requests taking at
 	// least this long are logged through Logger at warn level. 0 disables
 	// slow-query logging.
@@ -145,11 +154,12 @@ type Server struct {
 	recorder *trace.Recorder // nil: lifecycle tracing disabled
 	sample   int64           // record 1 in sample requests
 
-	defaultTimeout time.Duration
-	maxTimeout     time.Duration
-	slowQuery      time.Duration
-	retryAfter     string // whole seconds, preformatted for the 429 header
-	start          time.Time
+	defaultTimeout   time.Duration
+	maxTimeout       time.Duration
+	slowQuery        time.Duration
+	retryAfterBase   int64 // Retry-After floor, whole seconds
+	retryAfterJitter int64 // uniform spread above the floor, whole seconds
+	start            time.Time
 
 	reqSeq atomic.Int64 // request-ID sequence
 
@@ -179,6 +189,10 @@ type Server struct {
 	// admission, before the engine. Tests use it to inject panics and to
 	// hold evaluation slots open.
 	testHookBeforeEval func()
+	// testHookOnStreamRow, when set, runs in the stream drain loop before
+	// each row is encoded, with the 0-based row index. Tests use it to
+	// inject mid-stream failures after the first byte is out.
+	testHookOnStreamRow func(row int)
 }
 
 // namedDB is one served database lineage. Queries load the current snapshot
@@ -224,24 +238,33 @@ func New(cfg Config) (*Server, error) {
 	if retryAfter <= 0 {
 		retryAfter = time.Second
 	}
+	retryBase := int64((retryAfter + time.Second - 1) / time.Second)
+	var retryJitter int64
+	switch {
+	case cfg.RetryAfterJitter > 0:
+		retryJitter = int64((cfg.RetryAfterJitter + time.Second - 1) / time.Second)
+	case cfg.RetryAfterJitter == 0:
+		retryJitter = max(retryBase/2, 1)
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
 	}
 	s := &Server{
-		dbs:            make(map[string]*namedDB, len(cfg.Databases)),
-		plans:          cache.NewPlanCache(max(planSize, 0)),
-		results:        cache.NewResultCache(max(resultSize, 0)),
-		index:          cache.NewIndex(max(resultSize, 0)),
-		flight:         cache.NewFlight[evalOutcome](),
-		limiter:        newLimiter(cfg.MaxConcurrentEvals, cfg.MaxEvalQueue),
-		logger:         logger,
-		defaultTimeout: cfg.DefaultTimeout,
-		maxTimeout:     cfg.MaxTimeout,
-		slowQuery:      cfg.SlowQuery,
-		retryAfter:     strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second)),
-		start:          time.Now(),
-		sample:         1,
+		dbs:              make(map[string]*namedDB, len(cfg.Databases)),
+		plans:            cache.NewPlanCache(max(planSize, 0)),
+		results:          cache.NewResultCache(max(resultSize, 0)),
+		index:            cache.NewIndex(max(resultSize, 0)),
+		flight:           cache.NewFlight[evalOutcome](),
+		limiter:          newLimiter(cfg.MaxConcurrentEvals, cfg.MaxEvalQueue),
+		logger:           logger,
+		defaultTimeout:   cfg.DefaultTimeout,
+		maxTimeout:       cfg.MaxTimeout,
+		slowQuery:        cfg.SlowQuery,
+		retryAfterBase:   retryBase,
+		retryAfterJitter: retryJitter,
+		start:            time.Now(),
+		sample:           1,
 	}
 	if cfg.TraceSample > 1 {
 		s.sample = int64(cfg.TraceSample)
@@ -260,6 +283,10 @@ func New(cfg Config) (*Server, error) {
 		nd := &namedDB{name: name}
 		nd.snap.Store(&dbSnap{db: db, fp: db.Fingerprint()})
 		s.dbs[name] = nd
+		// Pin the churn index to the initial snapshot so registrations from
+		// evals that straddle an update are rejected by generation, not just
+		// by the update path's own fingerprint check.
+		s.index.Advance(name, db.Fingerprint())
 	}
 	// Last: the metric collectors close over the fields initialized above.
 	s.metrics = newServerMetrics(s)
@@ -914,16 +941,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// retryAfterValue renders one shed response's Retry-After header: the
+// configured floor plus bounded uniform jitter. A fixed value would have
+// every client a front tier shed at the same instant retry at the same
+// instant — the herd just moves one Retry-After into the future.
+func (s *Server) retryAfterValue() string {
+	v := s.retryAfterBase
+	if s.retryAfterJitter > 0 {
+		v += rand.Int64N(s.retryAfterJitter + 1)
+	}
+	return strconv.FormatInt(v, 10)
+}
+
 // evalErrorCode maps an evaluation error to its response status, applying
 // the per-class side effects on the way: shed counting plus the Retry-After
-// header for 429, and the timeout counter for 504.
+// header for 429, and the timeout counter for 504 — which also carries
+// Retry-After when the deadline fired while queued for a slot, since that
+// 504 is overload, not evaluation cost.
 func (s *Server) evalErrorCode(w http.ResponseWriter, err error) int {
 	switch {
 	case errors.Is(err, errOverloaded):
 		s.metrics.shed.Inc()
-		w.Header().Set("Retry-After", s.retryAfter)
+		w.Header().Set("Retry-After", s.retryAfterValue())
 		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		if errors.Is(err, errQueueTimeout) {
+			w.Header().Set("Retry-After", s.retryAfterValue())
+		}
 		s.timeouts.Add(1)
 		return http.StatusGatewayTimeout
 	case errors.Is(err, errEvalPanic) || errors.Is(err, cache.ErrPanicked):

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
@@ -222,35 +223,68 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http
 	// The drain span covers seek, decode and delivery — on streaming routes
 	// this is where evaluation work actually happens. Ended by the deferred
 	// trace Close when a disconnect returns early.
+	//
+	// The whole drain runs panic-contained: on streaming routes the engine
+	// executes inside Next/Skip, so a backend failure here surfaces as a
+	// panic AFTER the first byte — past the point where recoverPanics could
+	// still write a JSON error. Without the recover the response would just
+	// stop, indistinguishable from truncation; the contract (and what the
+	// router's truncation detection relies on) is that every server-side
+	// death mid-stream ends with an error trailer.
 	dsp := root.Start(trace.SpanStreamDrain)
 	defer dsp.End()
 	skipped := int64(0)
-	if req.Offset > 0 {
-		skipped = int64(en.Skip(req.Offset))
-	}
 	streamed := int64(0)
 	limited := false
-	for {
-		if req.Limit > 0 && streamed >= int64(req.Limit) {
-			limited = true
-			break
+	disconnected := false
+	var drainPanic error
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.panics.Inc()
+				s.logger.LogAttrs(ctx, slog.LevelError, "stream drain panic",
+					slog.String("request_id", reqID),
+					slog.String("query", req.Query),
+					slog.Any("panic", p))
+				drainPanic = fmt.Errorf("%w: %v", errEvalPanic, p)
+			}
+		}()
+		if req.Offset > 0 {
+			skipped = int64(en.Skip(req.Offset))
 		}
-		t, ok := en.Next()
-		if !ok {
-			break
+		for {
+			if req.Limit > 0 && streamed >= int64(req.Limit) {
+				limited = true
+				return
+			}
+			t, ok := en.Next()
+			if !ok {
+				return
+			}
+			if collect != nil {
+				collect.Add(t)
+			}
+			if s.testHookOnStreamRow != nil {
+				s.testHookOnStreamRow(int(streamed))
+			}
+			if err := enc.Encode(renderTuple(t, snap.db, req.Indices)); err != nil {
+				disconnected = true
+				return
+			}
+			streamed++
+			flush()
 		}
-		if collect != nil {
-			collect.Add(t)
-		}
-		if err := enc.Encode(renderTuple(t, snap.db, req.Indices)); err != nil {
-			s.streamDisconnects.Add(1)
-			return status
-		}
-		streamed++
-		flush()
+	}()
+	if disconnected {
+		s.streamDisconnects.Add(1)
+		return status
 	}
 
-	if err := en.Err(); err != nil {
+	err := en.Err()
+	if err == nil {
+		err = drainPanic
+	}
+	if err != nil {
 		if r.Context().Err() != nil {
 			// The client went away: nobody is reading, so no trailer — just
 			// count the cut and release the slot promptly (the deferred
@@ -258,9 +292,11 @@ func (s *Server) streamQuery(ctx context.Context, w http.ResponseWriter, r *http
 			s.streamDisconnects.Add(1)
 			return status
 		}
-		// The server's own deadline (or an internal failure) cut the stream:
-		// the status line is long gone, so report it in the trailer.
-		s.timeouts.Add(1)
+		// The server's own deadline — or a contained drain panic — cut the
+		// stream: the status line is long gone, so report it in the trailer.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.timeouts.Add(1)
+		}
 		en.Close() // fold acyclic-route stats before reading them
 		_ = enc.Encode(StreamTrailer{
 			Trailer:   true,

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -216,6 +217,16 @@ func TestStreamDisconnectReleasesSlot(t *testing.T) {
 		Databases:          map[string]*database.Database{"big": db},
 		MaxConcurrentEvals: 1,
 	})
+	// Pace the drain: on a fast loopback the whole 10k-row answer can land in
+	// socket buffers before the client's close is even noticed, exhausting the
+	// stream cleanly and counting nothing. A short breath every few hundred
+	// rows gives the connection teardown time to surface as a write error or
+	// context cancellation — the paths under test.
+	s.testHookOnStreamRow = func(row int) {
+		if row%256 == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
 	body, _ := json.Marshal(QueryRequest{
 		Database: "big", Query: twoHop, Engine: "compiled", Stream: true, NoCache: true})
 	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
@@ -306,5 +317,125 @@ func TestStreamTraceRejected(t *testing.T) {
 	code, _, _ := postQuery(t, ts, QueryRequest{Database: "graph", Query: twoHop, Stream: true, Trace: true})
 	if code != http.StatusBadRequest {
 		t.Fatalf("stream+trace status %d, want 400", code)
+	}
+}
+
+// TestStreamPanicMidDrainEmitsTrailer is the truncation-vs-completion
+// regression: a backend failure AFTER the first byte (here a panic injected
+// in the drain loop) is past the point where a JSON error response is
+// possible, so the stream MUST still end with an error trailer — a front
+// tier distinguishes truncation from completion by exactly that line. The
+// panic is contained (later requests succeed) and counted as a recovered
+// panic, not as a timeout or a client disconnect.
+func TestStreamPanicMidDrainEmitsTrailer(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.testHookOnStreamRow = func(row int) {
+		if row == 1 {
+			panic("injected backend failure")
+		}
+	}
+
+	body, err := json.Marshal(QueryRequest{Database: "graph", Query: twoHop, Stream: true, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200 (committed before the failure)", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream has %d lines, want at least header + trailer", len(lines))
+	}
+	last := lines[len(lines)-1]
+	var trailer StreamTrailer
+	if err := json.Unmarshal([]byte(last), &trailer); err != nil || !trailer.Trailer {
+		t.Fatalf("last line %q is not a trailer", last)
+	}
+	if trailer.Error == "" || !strings.Contains(trailer.Error, "panic") {
+		t.Fatalf("trailer error = %q, want the contained panic", trailer.Error)
+	}
+	if trailer.Streamed != 1 {
+		t.Fatalf("trailer streamed = %d, want 1 (one row made it out)", trailer.Streamed)
+	}
+
+	st := s.Stats()
+	if st.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", st.Panics)
+	}
+	if st.Timeouts != 0 {
+		t.Fatalf("timeouts = %d, want 0 (a panic is not a deadline)", st.Timeouts)
+	}
+	if st.StreamDisconnects != 0 {
+		t.Fatalf("stream_disconnects = %d, want 0 (the client never went away)", st.StreamDisconnects)
+	}
+
+	// Containment: the daemon serves the next request normally.
+	s.testHookOnStreamRow = nil
+	hdr, rows, tr := postStream(t, ts, QueryRequest{Database: "graph", Query: twoHop, Stream: true, NoCache: true})
+	if hdr.Arity != 2 || len(rows) == 0 || tr.Error != "" {
+		t.Fatalf("post-panic stream broken: header %+v, %d rows, trailer %+v", hdr, len(rows), tr)
+	}
+}
+
+// TestStreamDeadlineMidDrainEmitsTrailer pins the other mid-stream death:
+// the server's own deadline firing after the first byte ends with an error
+// trailer (and counts as a timeout), never a silent cut. The ~5k-tuple
+// answer guarantees the enumerator's every-1024-tuples context poll runs
+// after the injected stall has outlived the 50ms deadline.
+func TestStreamDeadlineMidDrainEmitsTrailer(t *testing.T) {
+	s, ts := newTestServer(t, Config{Databases: map[string]*database.Database{
+		"ord": orderedDB(t, 100),
+	}})
+	s.testHookOnStreamRow = func(row int) {
+		if row == 0 {
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+
+	body, err := json.Marshal(QueryRequest{Database: "ord", Query: "(x, y). Less(x, y)",
+		Stream: true, NoCache: true, TimeoutMS: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d, want 200", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	last := lines[len(lines)-1]
+	var trailer StreamTrailer
+	if err := json.Unmarshal([]byte(last), &trailer); err != nil || !trailer.Trailer {
+		t.Fatalf("last line %q is not a trailer", last)
+	}
+	if trailer.Error == "" {
+		t.Fatalf("trailer has no error after a mid-drain deadline: %q", last)
+	}
+	if st := s.Stats(); st.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", st.Timeouts)
 	}
 }

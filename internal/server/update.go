@@ -225,13 +225,18 @@ func convertUpdates(db *database.Database, entries []UpdateEntry, indices bool) 
 func (s *Server) triageResults(r *http.Request, nd *namedDB, newSnap *dbSnap, delta *database.Delta) UpdateCacheJSON {
 	var out UpdateCacheJSON
 	changed := delta.Relations()
+	// Rotate takes the tracked entries and advances the index's generation in
+	// one atomic step: from here the index rejects registrations minted
+	// against the outgoing fingerprint — the stale-result guard for evals
+	// racing this update (and the next one).
+	tracked := s.index.Rotate(nd.name, newSnap.fp)
 	drop := func(t *cache.Tracked, reason string) {
 		s.results.Remove(t.Key)
 		s.invalidatedResults.Add(1)
 		s.metrics.invalidations.With(reason).Inc()
 		out.Invalidated++
 	}
-	for _, t := range s.index.Take(nd.name) {
+	for _, t := range tracked {
 		res, live := s.results.Get(t.Key)
 		if !live {
 			continue // evicted since registration: nothing to triage
@@ -242,7 +247,7 @@ func (s *Server) triageResults(r *http.Request, nd *namedDB, newSnap *dbSnap, de
 			s.results.Remove(t.Key)
 			t.Key = cache.ResultKey(newSnap.fp, t.Engine, t.Opts, t.Query)
 			s.results.Put(t.Key, res)
-			s.index.Register(nd.name, t)
+			s.index.Register(nd.name, newSnap.fp, t)
 			s.carriedResults.Add(1)
 			out.Carried++
 			continue
@@ -275,7 +280,7 @@ func (s *Server) triageResults(r *http.Request, nd *namedDB, newSnap *dbSnap, de
 		t.Key = cache.ResultKey(newSnap.fp, t.Engine, t.Opts, t.Query)
 		t.State = state
 		s.results.Put(t.Key, cache.Result{Answer: ans, Stats: st})
-		s.index.Register(nd.name, t)
+		s.index.Register(nd.name, newSnap.fp, t)
 		s.maintainedResults.Add(1)
 		s.metrics.maintained.Inc()
 		out.Maintained++
@@ -294,5 +299,5 @@ func (s *Server) storeResult(nd *namedDB, snap *dbSnap, key string, res cache.Re
 		return // superseded mid-evaluation; the key is already unreachable
 	}
 	s.results.Put(key, res)
-	s.index.Register(nd.name, t)
+	s.index.Register(nd.name, snap.fp, t)
 }
